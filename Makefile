@@ -1,0 +1,28 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/phoneme_selection_study.py
+	$(PYTHON) examples/attack_study.py
+	$(PYTHON) examples/distributed_protocol_demo.py
+	$(PYTHON) examples/smart_home_protection.py
+
+clean:
+	rm -rf build dist *.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

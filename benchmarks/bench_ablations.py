@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Artifact crop (≤5 Hz removal) on/off — the DC-sensitivity artifact is
+   strongly correlated between replays, so keeping those rows inflates
+   attack scores.
+2. Vibration-domain normalization on/off under distance variation — the
+   paper's normalization cancels user-to-VA distance.
+3. Cross-correlation sync vs raw WiFi trigger — misaligned recordings
+   destroy the correlation for everyone.
+4. Log compression (the full system's feature normalization) vs the
+   plain Eq. (6) linear features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.features import FeatureConfig
+from repro.core.pipeline import DefenseConfig, DefensePipeline
+from repro.core.sync import SyncConfig
+from repro.eval.metrics import evaluate_scores
+from repro.eval.reporting import format_table
+from repro.eval.rooms import ROOM_A
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+
+N_SAMPLES = 8
+
+
+def _score_sets(pipeline, with_sync=True, distances=(1.0, 2.0, 3.0)):
+    corpus = SyntheticCorpus(n_speakers=4, seed=9600)
+    scenario = AttackScenario(room_config=ROOM_A)
+    victim = corpus.speakers[0]
+    replay = ReplayAttack(corpus, victim)
+    legit, attack = [], []
+    for index in range(N_SAMPLES):
+        command = VA_COMMANDS[index % len(VA_COMMANDS)]
+        utterance = corpus.utterance(
+            phonemize(command), speaker=victim, rng=100 + index
+        )
+        scenario.user_to_va_m = distances[index % len(distances)]
+        va, wearable = scenario.legitimate_recordings(
+            utterance, spl_db=65.0 + 5.0 * (index % 3), rng=200 + index
+        )
+        if not with_sync:
+            # Bypass alignment: pad the wearable back to VA length so
+            # the raw (offset) recordings are compared directly.
+            wearable = np.concatenate(
+                [wearable, np.zeros(va.size - wearable.size)]
+            )
+        legit.append(
+            pipeline.score(
+                va, wearable, rng=300 + index,
+                oracle_utterance=utterance,
+            )
+        )
+        sound = replay.generate(command=command, rng=400 + index)
+        va, wearable = scenario.attack_recordings(
+            sound, spl_db=75.0, rng=500 + index
+        )
+        if not with_sync:
+            wearable = np.concatenate(
+                [wearable, np.zeros(va.size - wearable.size)]
+            )
+        attack.append(
+            pipeline.score(
+                va, wearable, rng=600 + index,
+                oracle_utterance=sound.utterance,
+            )
+        )
+    return legit, attack
+
+
+def _pipeline(trained_segmenter, features=None, sync=None):
+    config = DefenseConfig()
+    if features is not None:
+        config = DefenseConfig(features=features)
+    if sync is not None:
+        config.sync = sync
+    return DefensePipeline(
+        segmenter=trained_segmenter, config=config
+    )
+
+
+def _run_all(trained_segmenter):
+    variants = {
+        "full system": _pipeline(trained_segmenter),
+        "no artifact crop": _pipeline(
+            trained_segmenter,
+            FeatureConfig(artifact_cutoff_hz=0.0, highpass_hz=0.0),
+        ),
+        "no normalization": _pipeline(
+            trained_segmenter, FeatureConfig(normalize=False)
+        ),
+        "linear Eq.(6) features": _pipeline(
+            trained_segmenter, FeatureConfig(log_compress=False)
+        ),
+        "tiny sync window (broken sync)": _pipeline(
+            trained_segmenter, sync=SyncConfig(max_delay_s=0.004)
+        ),
+    }
+    rows = {}
+    for name, pipeline in variants.items():
+        legit, attack = _score_sets(pipeline)
+        rows[name] = evaluate_scores(legit, attack)
+    return rows
+
+
+def test_ablations(benchmark, trained_segmenter):
+    metrics = run_once(benchmark, lambda: _run_all(trained_segmenter))
+    table = [
+        (
+            name,
+            f"{m.auc:.3f}",
+            f"{m.eer * 100:.1f}%",
+        )
+        for name, m in metrics.items()
+    ]
+    emit(
+        "ablations",
+        format_table(
+            ["variant", "AUC", "EER"],
+            table,
+            title="Ablations — replay attack, Room A "
+                  f"({N_SAMPLES} legit / {N_SAMPLES} attack)",
+        ),
+    )
+    full = metrics["full system"]
+    assert full.auc >= 0.95
+    # Breaking the sync must hurt badly: the correlation comparison
+    # depends on aligned recordings.
+    assert (
+        metrics["tiny sync window (broken sync)"].auc <= full.auc
+    )
+    # Dropping the artifact crop lets the correlated DC artifact leak
+    # into both sides' features, inflating attack scores.
+    assert metrics["no artifact crop"].auc <= full.auc + 1e-9

@@ -1,0 +1,74 @@
+"""Fig. 11(b) — EER per barrier material (wood vs glass), four attacks.
+
+Paper: EERs are similar across the two materials and all below 4.2 %.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.acoustics.materials import GLASS_WINDOW, WOODEN_DOOR
+from repro.attacks.base import AttackKind
+from repro.eval.campaign import (
+    CampaignConfig,
+    DetectorBank,
+    FULL_SYSTEM,
+)
+from repro.eval.experiment import run_factor_sweep
+from repro.eval.reporting import format_table
+
+ATTACKS = [
+    AttackKind.RANDOM,
+    AttackKind.REPLAY,
+    AttackKind.SYNTHESIS,
+    AttackKind.HIDDEN_VOICE,
+]
+
+
+def _run(trained_segmenter):
+    config = CampaignConfig(
+        n_commands_per_participant=5, n_attacks_per_kind=5, seed=9300
+    )
+    detectors = DetectorBank(
+        segmenter=trained_segmenter, include_baselines=False
+    )
+    return run_factor_sweep(
+        "barrier_material",
+        [WOODEN_DOOR, GLASS_WINDOW],
+        ATTACKS,
+        base_config=config,
+        detectors=detectors,
+    )
+
+
+def test_fig11b_barrier_material(benchmark, trained_segmenter):
+    results = run_once(benchmark, lambda: _run(trained_segmenter))
+    rows = []
+    for label, by_kind in results.items():
+        for kind in ATTACKS:
+            rows.append(
+                (
+                    label,
+                    kind.value,
+                    f"{by_kind[kind][FULL_SYSTEM].eer * 100:.1f}%",
+                    "< 4.2%",
+                )
+            )
+    emit(
+        "fig11b_barrier_material",
+        format_table(
+            ["barrier", "attack", "full-system EER", "paper"],
+            rows,
+            title="Fig. 11(b) — EER per barrier material",
+        ),
+    )
+    eers = {
+        (label, kind): by_kind[kind][FULL_SYSTEM].eer
+        for label, by_kind in results.items()
+        for kind in ATTACKS
+    }
+    # All EERs in the paper's band; materials comparable.
+    assert all(eer <= 0.07 for eer in eers.values())
+    for kind in ATTACKS:
+        wood = eers[("wooden door", kind)]
+        glass = eers[("glass window", kind)]
+        assert abs(wood - glass) <= 0.08

@@ -1,0 +1,79 @@
+"""Fig. 11(d) — EER per room environment (A/B/C/D), four attacks.
+
+Paper: below 5 % in every room; hidden voice attacks are the easiest
+(close to 0 % EER) because their wideband content exposes the barrier's
+frequency selectivity most clearly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.attacks.base import AttackKind
+from repro.eval.campaign import (
+    CampaignConfig,
+    DetectorBank,
+    FULL_SYSTEM,
+)
+from repro.eval.experiment import run_factor_sweep
+from repro.eval.reporting import format_table
+from repro.eval.rooms import ROOM_A, ROOM_B, ROOM_C, ROOM_D
+
+ATTACKS = [
+    AttackKind.RANDOM,
+    AttackKind.REPLAY,
+    AttackKind.SYNTHESIS,
+    AttackKind.HIDDEN_VOICE,
+]
+
+
+def _run(trained_segmenter):
+    config = CampaignConfig(
+        n_commands_per_participant=5, n_attacks_per_kind=5, seed=9500
+    )
+    detectors = DetectorBank(
+        segmenter=trained_segmenter, include_baselines=False
+    )
+    return run_factor_sweep(
+        "room",
+        [ROOM_A, ROOM_B, ROOM_C, ROOM_D],
+        ATTACKS,
+        base_config=config,
+        detectors=detectors,
+    )
+
+
+def test_fig11d_rooms(benchmark, trained_segmenter):
+    results = run_once(benchmark, lambda: _run(trained_segmenter))
+    rows = []
+    for label, by_kind in results.items():
+        for kind in ATTACKS:
+            rows.append(
+                (
+                    label,
+                    kind.value,
+                    f"{by_kind[kind][FULL_SYSTEM].eer * 100:.1f}%",
+                    "< 5%",
+                )
+            )
+    emit(
+        "fig11d_rooms",
+        format_table(
+            ["room", "attack", "full-system EER", "paper"],
+            rows,
+            title="Fig. 11(d) — EER per room environment",
+        ),
+    )
+    hidden_eers = []
+    clear_eers = []
+    for label, by_kind in results.items():
+        for kind in ATTACKS:
+            eer = by_kind[kind][FULL_SYSTEM].eer
+            assert eer <= 0.08
+            if kind is AttackKind.HIDDEN_VOICE:
+                hidden_eers.append(eer)
+            else:
+                clear_eers.append(eer)
+    # Hidden voice is the easiest attack on average.
+    assert np.mean(hidden_eers) <= np.mean(clear_eers) + 0.01

@@ -1,0 +1,83 @@
+"""Runtime performance of the pipeline's hot paths (pytest-benchmark).
+
+These are classic micro/meso benchmarks (multiple rounds), complementing
+the one-shot experiment benches: cross-domain conversion, vibration
+feature extraction, 2-D correlation, synchronization, BRNN inference,
+and a full end-to-end analyze call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import VibrationFeatureExtractor
+from repro.core.pipeline import DefensePipeline
+from repro.core.sync import synchronize_recordings
+from repro.dsp.correlate import correlation_2d
+from repro.phonemes.commands import phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.sensing.cross_domain import CrossDomainSensor
+
+RATE = 16_000.0
+
+
+@pytest.fixture(scope="module")
+def audio_pair():
+    corpus = SyntheticCorpus(n_speakers=2, seed=9700)
+    utterance = corpus.utterance(
+        phonemize("alexa play my favorite playlist"), rng=1
+    )
+    rng = np.random.default_rng(2)
+    va = utterance.waveform + 0.001 * rng.standard_normal(
+        utterance.waveform.size
+    )
+    wearable = va[1600:] + 0.001 * rng.standard_normal(
+        va.size - 1600
+    )
+    return va, wearable
+
+
+def test_perf_cross_domain_conversion(benchmark, audio_pair):
+    sensor = CrossDomainSensor()
+    va, _ = audio_pair
+    benchmark(lambda: sensor.convert(va, RATE, rng=0))
+
+
+def test_perf_feature_extraction(benchmark, audio_pair):
+    sensor = CrossDomainSensor()
+    va, _ = audio_pair
+    vibration = sensor.convert(va, RATE, rng=0)
+    extractor = VibrationFeatureExtractor()
+    benchmark(lambda: extractor.extract(vibration))
+
+
+def test_perf_correlation_2d(benchmark, rng_features=(31, 120)):
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal(rng_features)
+    b = rng.standard_normal(rng_features)
+    benchmark(lambda: correlation_2d(a, b))
+
+
+def test_perf_synchronization(benchmark, audio_pair):
+    va, wearable = audio_pair
+    benchmark(
+        lambda: synchronize_recordings(va, wearable, RATE)
+    )
+
+
+def test_perf_segmenter_inference(benchmark, trained_segmenter,
+                                  audio_pair):
+    va, _ = audio_pair
+    benchmark(lambda: trained_segmenter.segments(va))
+
+
+def test_perf_full_pipeline_analyze(benchmark, trained_segmenter,
+                                    audio_pair):
+    pipeline = DefensePipeline(segmenter=trained_segmenter)
+    va, wearable = audio_pair
+    benchmark.pedantic(
+        lambda: pipeline.analyze(va, wearable, rng=5),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,95 @@
+"""Segmentation ablation: trained BRNN vs oracle vs none.
+
+Quantifies what the paper's online phoneme segmentation contributes:
+the same replay-attack experiment scored (a) with the trained BRNN
+segmenter, (b) with ground-truth (oracle) segments from the utterance
+alignments, and (c) with no segmentation (whole-command analysis, i.e.
+the vibration baseline path through the full-system features).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario
+from repro.core.pipeline import DefensePipeline
+from repro.eval.metrics import evaluate_scores
+from repro.eval.reporting import format_table
+from repro.eval.rooms import ROOM_A
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+
+N_SAMPLES = 8
+
+
+def _evaluate(trained_segmenter):
+    corpus = SyntheticCorpus(n_speakers=4, seed=9900)
+    scenario = AttackScenario(room_config=ROOM_A)
+    victim = corpus.speakers[0]
+    replay = ReplayAttack(corpus, victim)
+
+    pipelines = {
+        "BRNN segmentation": (
+            DefensePipeline(segmenter=trained_segmenter), False
+        ),
+        "oracle segmentation": (
+            DefensePipeline(segmenter=trained_segmenter), True
+        ),
+        "no segmentation": (DefensePipeline(segmenter=None), False),
+    }
+    results = {}
+    for name, (pipeline, use_oracle) in pipelines.items():
+        legit, attack = [], []
+        for index in range(N_SAMPLES):
+            command = VA_COMMANDS[index % len(VA_COMMANDS)]
+            utterance = corpus.utterance(
+                phonemize(command), speaker=victim, rng=100 + index
+            )
+            va, wearable = scenario.legitimate_recordings(
+                utterance, spl_db=65.0 + 5 * (index % 3),
+                rng=200 + index,
+            )
+            legit.append(
+                pipeline.score(
+                    va, wearable, rng=300 + index,
+                    oracle_utterance=utterance if use_oracle else None,
+                )
+            )
+            sound = replay.generate(command=command, rng=400 + index)
+            va, wearable = scenario.attack_recordings(
+                sound, spl_db=75.0, rng=500 + index
+            )
+            attack.append(
+                pipeline.score(
+                    va, wearable, rng=600 + index,
+                    oracle_utterance=(
+                        sound.utterance if use_oracle else None
+                    ),
+                )
+            )
+        results[name] = evaluate_scores(legit, attack)
+    return results
+
+
+def test_segmentation_ablation(benchmark, trained_segmenter):
+    results = run_once(benchmark, lambda: _evaluate(trained_segmenter))
+    rows = [
+        (name, f"{m.auc:.3f}", f"{m.eer * 100:.1f}%")
+        for name, m in results.items()
+    ]
+    emit(
+        "segmentation_ablation",
+        format_table(
+            ["segmentation", "AUC", "EER"],
+            rows,
+            title=(
+                "Segmentation ablation — replay attack, Room A "
+                f"({N_SAMPLES} legit / {N_SAMPLES} attack)"
+            ),
+        ),
+    )
+    # The trained BRNN must perform on par with ground-truth segments.
+    brnn = results["BRNN segmentation"]
+    oracle = results["oracle segmentation"]
+    assert brnn.auc >= oracle.auc - 0.05
+    assert brnn.auc >= 0.95

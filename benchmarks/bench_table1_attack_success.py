@@ -1,0 +1,158 @@
+"""Table I — thru-barrier attack success against four VA devices.
+
+Regenerates the paper's attack study: replay the wake word behind a
+glass window / wooden door at 65 and 75 dB, 10 attempts per cell, and
+count how many attempts trigger each device.  Random and synthesis
+attacks are skipped on Siri devices (voice-recognition gate), as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.acoustics.materials import GLASS_WINDOW, WOODEN_DOOR
+from repro.acoustics.propagation import propagate
+from repro.attacks.base import AttackKind
+from repro.attacks.random_attack import RandomAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario
+from repro.attacks.synthesis import VoiceSynthesisAttack
+from repro.eval.reporting import format_table
+from repro.eval.rooms import ROOM_A
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.utils.rng import child_rng
+from repro.va.device import VA_DEVICES, VoiceAssistantDevice
+
+N_ATTEMPTS = 10
+
+#: Table I reference rows: (device, barrier, attack) -> (65 dB, 75 dB).
+PAPER_TABLE1 = {
+    ("Google Home", "glass window", "random"): (9, 10),
+    ("Google Home", "glass window", "replay"): (10, 10),
+    ("Google Home", "glass window", "synthesis"): (4, 10),
+    ("Google Home", "wooden door", "random"): (10, 10),
+    ("Google Home", "wooden door", "replay"): (10, 10),
+    ("Google Home", "wooden door", "synthesis"): (8, 10),
+    ("Alexa Echo", "glass window", "random"): (5, 10),
+    ("Alexa Echo", "glass window", "replay"): (4, 10),
+    ("Alexa Echo", "glass window", "synthesis"): (3, 10),
+    ("Alexa Echo", "wooden door", "random"): (9, 10),
+    ("Alexa Echo", "wooden door", "replay"): (10, 10),
+    ("Alexa Echo", "wooden door", "synthesis"): (3, 10),
+    ("MacBook Pro", "glass window", "replay"): (4, 10),
+    ("MacBook Pro", "wooden door", "replay"): (4, 10),
+    ("iPhone", "glass window", "replay"): (0, 6),
+    ("iPhone", "wooden door", "replay"): (0, 7),
+}
+
+
+def _attack_generators(corpus, rng):
+    victim, adversary = corpus.speakers[0], corpus.speakers[1]
+    return {
+        "random": RandomAttack(corpus, adversary),
+        "replay": ReplayAttack(corpus, victim),
+        "synthesis": VoiceSynthesisAttack(
+            corpus, victim, rng=child_rng(rng, "tts")
+        ),
+    }
+
+
+def _run_study():
+    corpus = SyntheticCorpus(n_speakers=4, seed=1000)
+    rng = np.random.default_rng(1001)
+    generators = _attack_generators(corpus, rng)
+    rows = []
+    for barrier in (GLASS_WINDOW, WOODEN_DOOR):
+        room = dataclasses.replace(ROOM_A, barrier=barrier)
+        scenario = AttackScenario(room_config=room)
+        for device_name, spec in VA_DEVICES.items():
+            wake = spec.wake_word
+            for attack_name, generator in generators.items():
+                voice_matches = attack_name in ("replay", "synthesis")
+                if spec.has_voice_recognition and attack_name != "replay":
+                    # Siri rejects unrecognized voices; the paper leaves
+                    # these cells blank.
+                    continue
+                cell = []
+                for level in (65.0, 75.0):
+                    successes = 0
+                    for attempt in range(N_ATTEMPTS):
+                        attack = generator.generate(
+                            command=wake,
+                            rng=child_rng(
+                                rng,
+                                f"{barrier.name}{device_name}"
+                                f"{attack_name}{level}{attempt}",
+                            ),
+                        )
+                        interior = scenario.channel.transmit(
+                            attack.waveform,
+                            attack.sample_rate,
+                            level,
+                            rng=child_rng(rng, f"b{attempt}{level}"),
+                        )
+                        at_device = propagate(
+                            interior, attack.sample_rate, 2.0
+                        )
+                        device = VoiceAssistantDevice(spec)
+                        result = device.try_trigger(
+                            at_device,
+                            attack.sample_rate,
+                            voice_matches_user=voice_matches,
+                            rng=child_rng(rng, f"t{attempt}{level}"),
+                        )
+                        successes += result.triggered
+                    cell.append(successes)
+                paper = PAPER_TABLE1.get(
+                    (device_name, barrier.name, attack_name)
+                )
+                paper_text = (
+                    f"{paper[0]}/10; {paper[1]}/10" if paper else "-"
+                )
+                rows.append(
+                    (
+                        device_name,
+                        barrier.name,
+                        attack_name,
+                        f"{cell[0]}/10; {cell[1]}/10",
+                        paper_text,
+                    )
+                )
+    return rows
+
+
+def test_table1_attack_success(benchmark):
+    rows = run_once(benchmark, _run_study)
+    emit(
+        "table1_attack_success",
+        format_table(
+            ["device", "barrier", "attack", "measured (65;75 dB)",
+             "paper (65;75 dB)"],
+            rows,
+            title="Table I — thru-barrier attack success out of "
+                  f"{N_ATTEMPTS} attempts",
+        ),
+    )
+    measured = {
+        (device, barrier, attack): cell
+        for device, barrier, attack, cell, _ in rows
+    }
+    # Shape checks: attacks succeed broadly at 75 dB on smart speakers;
+    # the iPhone is the hardest target.
+    google_75 = int(
+        measured[("Google Home", "glass window", "replay")]
+        .split("; ")[1]
+        .split("/")[0]
+    )
+    iphone_65 = int(
+        measured[("iPhone", "glass window", "replay")]
+        .split("; ")[0]
+        .split("/")[0]
+    )
+    assert google_75 >= 8
+    assert iphone_65 <= 4

@@ -1,0 +1,72 @@
+"""Table II — common VA-command phonemes and the 31 sensitive ones.
+
+Regenerates the command-corpus phoneme statistics and the offline
+barrier-effect-sensitive phoneme selection, comparing against the
+paper's Table II (counts + bold selection markers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.core.phoneme_selection import (
+    PhonemeSelectionConfig,
+    PhonemeSelector,
+)
+from repro.eval.reporting import format_table
+from repro.phonemes.commands import command_phoneme_counts
+from repro.phonemes.inventory import (
+    COMMON_PHONEMES,
+    PAPER_SELECTED_PHONEMES,
+)
+
+
+def _run():
+    counts = command_phoneme_counts()
+    selector = PhonemeSelector(
+        config=PhonemeSelectionConfig(n_segments=24), seed=2024
+    )
+    selection = selector.run()
+    return counts, selection
+
+
+def test_table2_common_phonemes(benchmark):
+    counts, selection = run_once(benchmark, _run)
+    selected = set(selection.selected)
+
+    rows = []
+    ranked = sorted(
+        COMMON_PHONEMES.items(), key=lambda item: -item[1]
+    )
+    for symbol, paper_count in ranked:
+        rows.append(
+            (
+                symbol,
+                paper_count,
+                counts.get(symbol, 0),
+                "bold" if symbol in PAPER_SELECTED_PHONEMES else "",
+                "bold" if symbol in selected else "",
+            )
+        )
+    emit(
+        "table2_common_phonemes",
+        format_table(
+            ["phoneme", "paper count", "corpus count",
+             "paper selected", "measured selected"],
+            rows,
+            title=(
+                "Table II — 37 common phonemes; measured selection "
+                f"picked {len(selected)}/37 (paper: 31/37)"
+            ),
+        ),
+    )
+
+    # Shape assertions: 31 sensitive phonemes, matching the paper's set.
+    assert len(selected) == 31
+    assert selected == set(PAPER_SELECTED_PHONEMES)
+    # Frequency ranks correlate with Table II.
+    shared = sorted(set(counts) & set(COMMON_PHONEMES))
+    ours = np.argsort(np.argsort([counts[s] for s in shared]))
+    paper = np.argsort(np.argsort([COMMON_PHONEMES[s] for s in shared]))
+    assert np.corrcoef(ours, paper)[0, 1] > 0.5

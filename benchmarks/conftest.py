@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+prints the measured rows next to the paper's reported values and also
+appends them to ``benchmarks/results/<name>.txt`` so the full record
+survives pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n"
+    sys.stdout.write(banner + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def trained_segmenter():
+    """One segmenter trained with the paper's recipe, shared by benches."""
+    from repro.core.segmentation import train_default_segmenter
+
+    return train_default_segmenter(seed=404)
+
+
+def run_once(benchmark, func):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Thru-barrier attack study (paper § III-A, Table I).
+
+How vulnerable are commercial VA devices to attacks launched behind a
+barrier?  This example replays wake words through a glass window at two
+sound levels against all four device models and prints the success
+counts, demonstrating why a dedicated defense is needed.
+
+Run:  python examples/attack_study.py
+"""
+
+import numpy as np
+
+from repro.acoustics.propagation import propagate
+from repro.attacks import AttackScenario, ReplayAttack
+from repro.eval.rooms import ROOM_A
+from repro.phonemes import SyntheticCorpus
+from repro.utils.rng import child_rng
+from repro.va import VA_DEVICES, VoiceAssistantDevice
+
+N_ATTEMPTS = 10
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(n_speakers=2, seed=77)
+    scenario = AttackScenario(room_config=ROOM_A)
+    replay = ReplayAttack(corpus, corpus.speakers[0])
+    rng = np.random.default_rng(78)
+
+    print(
+        "Replay attack through a glass window, VA 2 m inside "
+        f"({N_ATTEMPTS} attempts per cell)\n"
+    )
+    print(f"{'device':14} {'65 dB':>8} {'75 dB':>8}")
+    for name, spec in VA_DEVICES.items():
+        cells = []
+        for level in (65.0, 75.0):
+            successes = 0
+            for attempt in range(N_ATTEMPTS):
+                attack = replay.generate(
+                    command=spec.wake_word,
+                    rng=child_rng(rng, f"{name}{level}{attempt}"),
+                )
+                interior = scenario.channel.transmit(
+                    attack.waveform, attack.sample_rate, level,
+                    rng=child_rng(rng, f"b{name}{level}{attempt}"),
+                )
+                at_device = propagate(interior, attack.sample_rate, 2.0)
+                device = VoiceAssistantDevice(spec)
+                result = device.try_trigger(
+                    at_device, attack.sample_rate,
+                    rng=child_rng(rng, f"t{name}{level}{attempt}"),
+                )
+                successes += result.triggered
+            cells.append(successes)
+        print(
+            f"{name:14} {cells[0]:>5}/10 {cells[1]:>5}/10"
+        )
+
+    print(
+        "\nSmart speakers' far-field microphones make them easy "
+        "targets;\nthe iPhone's near-field mic resists the quiet "
+        "65 dB attack."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Cross-device protocol walkthrough on the discrete-event substrate.
+
+Shows the distributed side of the defense: the VA detects the wake word,
+notifies the wearable through the (latency-modelled) cloud relay, both
+devices record, the VA ships its recording to the wearable, and the
+defense's cross-correlation sync removes the genuine network-induced
+offset — printing each protocol step with virtual timestamps.
+
+Run:  python examples/distributed_protocol_demo.py
+"""
+
+import numpy as np
+
+from repro.acoustics.propagation import propagate
+from repro.acoustics.spl import scale_to_spl
+from repro.core.sync import synchronize_recordings
+from repro.phonemes import SyntheticCorpus, phonemize
+from repro.sim import NetworkConfig, run_synchronized_recording
+
+
+def main() -> None:
+    # The acoustic scene: one command heard by both devices.
+    corpus = SyntheticCorpus(n_speakers=2, seed=31)
+    utterance = corpus.utterance(
+        phonemize("ok google lock the front door"), rng=32
+    )
+    source = scale_to_spl(utterance.waveform, 70.0)
+    padded = np.concatenate([source, np.zeros(8000)])
+    at_va = propagate(padded, 16_000.0, 2.0)
+    at_wearable = propagate(padded, 16_000.0, 1.0)
+
+    print("Running the recording session over the simulated LAN...\n")
+    session = run_synchronized_recording(
+        at_va,
+        at_wearable,
+        16_000.0,
+        network_config=NetworkConfig(mean_delay_s=0.1, jitter_s=0.03),
+        rng=33,
+    )
+
+    print("VA device trace:")
+    for line in session.va_log:
+        print(f"  {line}")
+    print("\nWearable trace:")
+    for line in session.wearable_log:
+        print(f"  {line}")
+
+    print(
+        f"\nProtocol-induced recording offset: "
+        f"{session.trigger_delay_s * 1000:.1f} ms"
+    )
+    _, _, estimated = synchronize_recordings(
+        session.va_recording, session.wearable_recording, 16_000.0
+    )
+    print(
+        f"Offset recovered by cross-correlation sync: "
+        f"{estimated * 1000:.1f} ms"
+    )
+    error_ms = abs(estimated - session.trigger_delay_s) * 1000
+    print(f"Residual synchronization error: {error_ms:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Offline barrier-effect-sensitive phoneme selection (paper § V-A).
+
+Runs the Criteria I/II selection over the 37 common VA-command phonemes
+and prints the per-phoneme statistics and the selected set (the paper
+selects 31 of 37, dropping /s/, /z/, /sh/, /th/ — too weak to trigger
+the accelerometer — and /aa/, /ao/ — loud enough to trigger it even
+behind a barrier).
+
+Run:  python examples/phoneme_selection_study.py
+"""
+
+from repro.core.phoneme_selection import (
+    PhonemeSelectionConfig,
+    PhonemeSelector,
+)
+from repro.phonemes.inventory import (
+    COMMON_PHONEMES,
+    PAPER_SELECTED_PHONEMES,
+)
+
+
+def main() -> None:
+    config = PhonemeSelectionConfig(n_segments=24)
+    print(
+        "Running the selection study "
+        f"({config.n_segments} renditions x 37 phonemes x 2 "
+        "conditions)..."
+    )
+    selector = PhonemeSelector(config=config, seed=99)
+    result = selector.run()
+
+    print(
+        f"\n{'phoneme':8} {'max Q3 thru':>12} {'min Q3 direct':>14} "
+        f"{'C-I':>4} {'C-II':>5} {'selected':>9} {'paper':>6}"
+    )
+    for symbol in COMMON_PHONEMES:
+        profile = result.profiles[symbol]
+        c1 = symbol in result.satisfies_criterion_1
+        c2 = symbol in result.satisfies_criterion_2
+        print(
+            f"/{symbol}/".ljust(8)
+            + f"{profile.max_thru_barrier():12.5f} "
+            + f"{profile.min_direct():14.5f} "
+            + f"{'yes' if c1 else 'NO':>4} "
+            + f"{'yes' if c2 else 'NO':>5} "
+            + f"{'yes' if symbol in result.selected else '-':>9} "
+            + f"{'yes' if symbol in PAPER_SELECTED_PHONEMES else '-':>6}"
+        )
+
+    print(
+        f"\nSelected {len(result.selected)}/37 "
+        f"(paper: 31/37); rejected: {sorted(result.rejected)}"
+    )
+    match = set(result.selected) == set(PAPER_SELECTED_PHONEMES)
+    print(f"Matches the paper's selection exactly: {match}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Acoustics substrate: barriers, propagation, rooms, mics, loudspeakers.
+
+Implements the physical layer between a sound source and a recording
+device: sound-pressure-level calibration, the frequency-selective barrier
+transmission of Eq. (1), distance attenuation with air absorption, room
+reverberation and ambient noise, and device transducer models.
+"""
+
+from repro.acoustics.materials import (
+    BRICK_WALL,
+    BarrierMaterial,
+    GLASS_WALL,
+    GLASS_WINDOW,
+    MATERIALS,
+    WOODEN_DOOR,
+)
+from repro.acoustics.barrier import Barrier
+from repro.acoustics.spl import (
+    REFERENCE_RMS_AT_65_DB,
+    db_to_gain,
+    gain_to_db,
+    rms,
+    scale_to_spl,
+    spl_of,
+)
+from repro.acoustics.propagation import air_absorption, propagate
+from repro.acoustics.room import Room, RoomConfig
+from repro.acoustics.microphone import Microphone, MicrophoneSpec
+from repro.acoustics.loudspeaker import Loudspeaker, LoudspeakerSpec
+
+__all__ = [
+    "BarrierMaterial",
+    "GLASS_WINDOW",
+    "GLASS_WALL",
+    "WOODEN_DOOR",
+    "BRICK_WALL",
+    "MATERIALS",
+    "Barrier",
+    "REFERENCE_RMS_AT_65_DB",
+    "db_to_gain",
+    "gain_to_db",
+    "rms",
+    "scale_to_spl",
+    "spl_of",
+    "air_absorption",
+    "propagate",
+    "Room",
+    "RoomConfig",
+    "Microphone",
+    "MicrophoneSpec",
+    "Loudspeaker",
+    "LoudspeakerSpec",
+]

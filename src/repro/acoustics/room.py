@@ -1,0 +1,122 @@
+"""Room model: geometry, reverberation, ambient noise.
+
+The paper evaluates in four rooms (A–D: one apartment, three offices) of
+different sizes and barrier types.  A :class:`Room` adds early-reflection
+reverberation scaled to the room size and generates a pink ambient noise
+floor, both of which shape the recordings the defense compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.materials import BarrierMaterial
+from repro.acoustics.spl import REFERENCE_RMS_AT_65_DB, db_to_gain
+from repro.dsp.generators import pink_noise
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+@dataclass(frozen=True)
+class RoomConfig:
+    """Static description of one room environment.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"Room A"``.
+    width_m, length_m:
+        Floor dimensions (the paper reports 7×6, 7×7, 6×4, 5×3 m).
+    barrier:
+        The barrier between the adversary and the room.
+    ambient_noise_db:
+        Ambient noise floor in dB SPL (quiet office ≈ 38–45 dB).
+    reflectivity:
+        Average wall reflection coefficient in (0, 1); higher means more
+        reverberant (glass-walled offices are livelier than furnished
+        apartments).
+    """
+
+    name: str
+    width_m: float
+    length_m: float
+    barrier: BarrierMaterial
+    ambient_noise_db: float = 46.0
+    reflectivity: float = 0.35
+
+    def __post_init__(self) -> None:
+        ensure_positive(self.width_m, "width_m")
+        ensure_positive(self.length_m, "length_m")
+        if not 0.0 < self.reflectivity < 1.0:
+            raise ConfigurationError(
+                f"reflectivity must be in (0, 1), got {self.reflectivity}"
+            )
+
+    @property
+    def mean_free_path_m(self) -> float:
+        """Mean distance between wall reflections (2-D approximation)."""
+        area = self.width_m * self.length_m
+        perimeter = 2.0 * (self.width_m + self.length_m)
+        return float(np.pi * area / perimeter)
+
+
+class Room:
+    """Acoustic behaviour of one room: reverberation + ambient noise."""
+
+    #: Number of early reflections added by :meth:`add_reverberation`.
+    N_REFLECTIONS = 6
+
+    def __init__(self, config: RoomConfig) -> None:
+        self.config = config
+
+    def add_reverberation(
+        self,
+        signal: np.ndarray,
+        sample_rate: float,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Superimpose decaying early reflections onto a dry signal.
+
+        Reflection delays follow the room's mean free path with random
+        spread; each bounce loses ``1 - reflectivity`` of its amplitude.
+        """
+        samples = ensure_1d(signal)
+        ensure_positive(sample_rate, "sample_rate")
+        generator = as_generator(rng)
+        output = samples.copy()
+        speed_of_sound = 343.0
+        base_delay_s = self.config.mean_free_path_m / speed_of_sound
+        for bounce in range(1, self.N_REFLECTIONS + 1):
+            delay_s = base_delay_s * bounce * float(
+                generator.uniform(0.8, 1.2)
+            )
+            delay = int(round(delay_s * sample_rate))
+            if delay <= 0 or delay >= samples.size:
+                continue
+            gain = self.config.reflectivity**bounce
+            output[delay:] += gain * samples[:-delay]
+        return output
+
+    def ambient_noise(
+        self,
+        duration_s: float,
+        sample_rate: float,
+        rng: SeedLike = None,
+    ) -> np.ndarray:
+        """Pink ambient noise at the room's configured SPL floor."""
+        amplitude = REFERENCE_RMS_AT_65_DB * db_to_gain(
+            self.config.ambient_noise_db - 65.0
+        )
+        return pink_noise(
+            duration_s, sample_rate, amplitude=amplitude, rng=rng
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (
+            f"Room({cfg.name!r}, {cfg.width_m}x{cfg.length_m} m, "
+            f"barrier={cfg.barrier.name!r})"
+        )

@@ -1,0 +1,61 @@
+"""Sound-pressure-level calibration for digital waveforms.
+
+The library's convention: a waveform with RMS amplitude
+:data:`REFERENCE_RMS_AT_65_DB` corresponds to 65 dB SPL (normal
+conversation level) at the emission reference distance.  All level
+handling — "play this command at 75 dB", "the user speaks at 65–75 dB" —
+goes through these helpers so levels stay consistent across the
+synthesizer, attacks, and devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+from repro.utils.validation import ensure_1d
+
+#: Digital RMS amplitude defined to correspond to 65 dB SPL.
+REFERENCE_RMS_AT_65_DB = 0.05
+
+#: SPL assigned to the reference RMS.
+REFERENCE_SPL_DB = 65.0
+
+
+def rms(signal: np.ndarray) -> float:
+    """Root-mean-square amplitude of a signal."""
+    samples = ensure_1d(signal)
+    return float(np.sqrt(np.mean(samples**2)))
+
+
+def db_to_gain(db: float) -> float:
+    """Convert a dB value to a linear amplitude gain."""
+    return float(10.0 ** (db / 20.0))
+
+
+def gain_to_db(gain: float) -> float:
+    """Convert a linear amplitude gain to dB."""
+    gain = float(gain)
+    if gain <= 0:
+        raise ConfigurationError(f"gain must be > 0, got {gain}")
+    return float(20.0 * np.log10(gain))
+
+
+def spl_of(signal: np.ndarray) -> float:
+    """Sound pressure level (dB SPL) of a waveform under the convention."""
+    level = rms(signal)
+    if level <= 0:
+        raise SignalError("signal has zero RMS; SPL undefined")
+    return REFERENCE_SPL_DB + gain_to_db(level / REFERENCE_RMS_AT_65_DB)
+
+
+def scale_to_spl(signal: np.ndarray, target_spl_db: float) -> np.ndarray:
+    """Rescale a waveform so its SPL equals ``target_spl_db``."""
+    samples = ensure_1d(signal)
+    level = rms(samples)
+    if level <= 0:
+        raise SignalError("cannot scale a silent signal to a target SPL")
+    target_rms = REFERENCE_RMS_AT_65_DB * db_to_gain(
+        target_spl_db - REFERENCE_SPL_DB
+    )
+    return samples * (target_rms / level)

@@ -1,0 +1,25 @@
+"""Attack generators for the four threat-model attacks (paper § II).
+
+Every attack produces an audio waveform to be played by the adversary's
+loudspeaker behind the barrier: random (another speaker's voice), replay
+(recorded victim audio), voice synthesis (victim-adapted TTS), and hidden
+voice (obfuscated wideband commands).
+"""
+
+from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.random_attack import RandomAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.synthesis import VoiceSynthesisAttack
+from repro.attacks.hidden_voice import HiddenVoiceAttack
+from repro.attacks.scenario import AttackScenario, ThruBarrierChannel
+
+__all__ = [
+    "AttackKind",
+    "AttackSound",
+    "RandomAttack",
+    "ReplayAttack",
+    "VoiceSynthesisAttack",
+    "HiddenVoiceAttack",
+    "AttackScenario",
+    "ThruBarrierChannel",
+]

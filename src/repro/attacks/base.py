@@ -1,0 +1,46 @@
+"""Common attack types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phonemes.corpus import Utterance
+
+
+class AttackKind(enum.Enum):
+    """The four thru-barrier attack approaches of the threat model."""
+
+    RANDOM = "random"
+    REPLAY = "replay"
+    SYNTHESIS = "synthesis"
+    HIDDEN_VOICE = "hidden_voice"
+
+
+@dataclass(frozen=True)
+class AttackSound:
+    """An attack waveform ready for playback behind the barrier.
+
+    Attributes
+    ----------
+    kind:
+        Which attack generated it.
+    waveform:
+        Audio samples (pre-playback; SPL applied by the scenario).
+    sample_rate:
+        Sampling rate of ``waveform``.
+    utterance:
+        The underlying aligned utterance when one exists (clear-voice
+        attacks); hidden-voice attacks have none.
+    description:
+        Human-readable provenance for reports.
+    """
+
+    kind: AttackKind
+    waveform: np.ndarray
+    sample_rate: float
+    utterance: Optional[Utterance] = None
+    description: str = ""

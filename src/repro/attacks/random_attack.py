@@ -1,0 +1,62 @@
+"""Random attack: the adversary uses their own voice.
+
+The adversary speaks a voice command in their own voice — no knowledge of
+the victim required.  Implemented as utterance synthesis with a speaker
+who is *not* the victim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.attacks.base import AttackKind, AttackSound
+from repro.errors import ConfigurationError
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.phonemes.speaker import SpeakerProfile
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+class RandomAttack:
+    """Generates attack commands in an adversary's own voice."""
+
+    kind = AttackKind.RANDOM
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        adversary: SpeakerProfile,
+        commands: Sequence[str] = VA_COMMANDS,
+    ) -> None:
+        if not commands:
+            raise ConfigurationError("commands must be non-empty")
+        self.corpus = corpus
+        self.adversary = adversary
+        self.commands = tuple(commands)
+
+    def generate(
+        self,
+        command: Optional[str] = None,
+        rng: SeedLike = None,
+    ) -> AttackSound:
+        """Produce one attack sound (random command unless specified)."""
+        generator = as_generator(rng)
+        if command is None:
+            command = self.commands[
+                int(generator.integers(0, len(self.commands)))
+            ]
+        utterance = self.corpus.utterance(
+            phonemize(command),
+            speaker=self.adversary,
+            text=command,
+            rng=child_rng(generator, "utterance"),
+        )
+        return AttackSound(
+            kind=self.kind,
+            waveform=utterance.waveform,
+            sample_rate=utterance.sample_rate,
+            utterance=utterance,
+            description=(
+                f"random attack by {self.adversary.speaker_id}: {command!r}"
+            ),
+        )

@@ -1,0 +1,72 @@
+"""Replay attack: the adversary replays recorded victim audio.
+
+The victim's voice samples (e.g., scraped from public speech) are played
+back through a loudspeaker.  The recording step itself is modelled as a
+microphone capture of the victim's utterance, so the replayed material
+carries recording noise and band-limiting on top of the later playback
+distortion applied by the scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.acoustics.microphone import Microphone, MicrophoneSpec, PHONE_MIC
+from repro.attacks.base import AttackKind, AttackSound
+from repro.errors import ConfigurationError
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.phonemes.speaker import SpeakerProfile
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+class ReplayAttack:
+    """Replays the victim's recorded voice commands."""
+
+    kind = AttackKind.REPLAY
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        victim: SpeakerProfile,
+        commands: Sequence[str] = VA_COMMANDS,
+        recording_mic: MicrophoneSpec = PHONE_MIC,
+    ) -> None:
+        if not commands:
+            raise ConfigurationError("commands must be non-empty")
+        self.corpus = corpus
+        self.victim = victim
+        self.commands = tuple(commands)
+        self._recording_mic = Microphone(recording_mic)
+
+    def generate(
+        self,
+        command: Optional[str] = None,
+        rng: SeedLike = None,
+    ) -> AttackSound:
+        """Produce one replayed victim command."""
+        generator = as_generator(rng)
+        if command is None:
+            command = self.commands[
+                int(generator.integers(0, len(self.commands)))
+            ]
+        utterance = self.corpus.utterance(
+            phonemize(command),
+            speaker=self.victim,
+            text=command,
+            rng=child_rng(generator, "utterance"),
+        )
+        recorded = self._recording_mic.capture(
+            utterance.waveform,
+            utterance.sample_rate,
+            rng=child_rng(generator, "recording"),
+        )
+        return AttackSound(
+            kind=self.kind,
+            waveform=recorded,
+            sample_rate=utterance.sample_rate,
+            utterance=utterance,
+            description=(
+                f"replay of {self.victim.speaker_id}'s command {command!r}"
+            ),
+        )

@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Simulate one legitimate command and one thru-barrier replay attack
+    and print the defense's verdicts (the quickstart, as a CLI).
+``select``
+    Run the offline barrier-effect-sensitive phoneme selection and
+    print the selected set.
+``evaluate``
+    Run a scaled-down Fig. 9-style experiment for one attack kind and
+    print AUC/EER for the full system and both baselines.
+``attack-study``
+    Run the Table I-style VA vulnerability study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of the ICDCS 2022 thru-barrier voice-attack "
+            "defense"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="legit vs replay-attack demo")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--text", default="alexa unlock the back door",
+        help="voice command text (must be in the lexicon)",
+    )
+
+    select = sub.add_parser(
+        "select", help="offline sensitive-phoneme selection"
+    )
+    select.add_argument("--seed", type=int, default=99)
+    select.add_argument(
+        "--segments", type=int, default=24,
+        help="renditions per phoneme",
+    )
+
+    evaluate = sub.add_parser(
+        "evaluate", help="scaled-down ROC experiment for one attack"
+    )
+    evaluate.add_argument(
+        "attack",
+        choices=["random", "replay", "synthesis", "hidden_voice"],
+    )
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--commands", type=int, default=3)
+    evaluate.add_argument("--attacks", type=int, default=3)
+
+    study = sub.add_parser(
+        "attack-study", help="Table I-style VA vulnerability study"
+    )
+    study.add_argument("--attempts", type=int, default=10)
+    study.add_argument("--seed", type=int, default=77)
+    return parser
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.attacks import AttackScenario, ReplayAttack
+    from repro.core import DefensePipeline
+    from repro.core.segmentation import train_default_segmenter
+    from repro.eval.rooms import ROOM_A
+    from repro.phonemes import SyntheticCorpus, phonemize
+
+    print("Training segmenter...")
+    pipeline = DefensePipeline(
+        segmenter=train_default_segmenter(seed=args.seed)
+    )
+    corpus = SyntheticCorpus(n_speakers=4, seed=args.seed + 1)
+    scenario = AttackScenario(room_config=ROOM_A)
+    user = corpus.speakers[0]
+    utterance = corpus.utterance(
+        phonemize(args.text), speaker=user, rng=args.seed + 2
+    )
+    va, wearable = scenario.legitimate_recordings(
+        utterance, spl_db=70.0, rng=args.seed + 3
+    )
+    legit = pipeline.score(va, wearable, rng=args.seed + 4)
+    attack = ReplayAttack(corpus, user).generate(
+        command=args.text, rng=args.seed + 5
+    )
+    va, wearable = scenario.attack_recordings(
+        attack, spl_db=75.0, rng=args.seed + 6
+    )
+    attacked = pipeline.score(va, wearable, rng=args.seed + 7)
+    print(f"legitimate score : {legit:.3f}")
+    print(f"attack score     : {attacked:.3f}")
+    print(
+        "verdict          : attack detected"
+        if attacked < legit - 0.2
+        else "verdict          : inconclusive (rerun with more data)"
+    )
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core.phoneme_selection import (
+        PhonemeSelectionConfig,
+        PhonemeSelector,
+    )
+    from repro.phonemes.inventory import PAPER_SELECTED_PHONEMES
+
+    selector = PhonemeSelector(
+        config=PhonemeSelectionConfig(n_segments=args.segments),
+        seed=args.seed,
+    )
+    result = selector.run()
+    print(
+        f"selected {len(result.selected)}/37: "
+        f"{sorted(result.selected)}"
+    )
+    print(f"rejected: {sorted(result.rejected)}")
+    match = set(result.selected) == set(PAPER_SELECTED_PHONEMES)
+    print(f"matches the paper's 31-phoneme set: {match}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.attacks.base import AttackKind
+    from repro.core.segmentation import train_default_segmenter
+    from repro.eval.campaign import CampaignConfig, DetectorBank
+    from repro.eval.experiment import run_attack_experiment
+
+    print("Training segmenter...")
+    detectors = DetectorBank(
+        segmenter=train_default_segmenter(seed=args.seed)
+    )
+    config = CampaignConfig(
+        n_commands_per_participant=args.commands,
+        n_attacks_per_kind=args.attacks,
+        seed=args.seed,
+    )
+    print("Running the campaign (this takes a few minutes)...")
+    result = run_attack_experiment(
+        AttackKind(args.attack), config=config, detectors=detectors
+    )
+    for detector, metrics in result.metrics.items():
+        print(f"{detector:20}: {metrics}")
+    return 0
+
+
+def _cmd_attack_study(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.acoustics.propagation import propagate
+    from repro.attacks import AttackScenario, ReplayAttack
+    from repro.eval.rooms import ROOM_A
+    from repro.phonemes import SyntheticCorpus
+    from repro.utils.rng import child_rng
+    from repro.va import VA_DEVICES, VoiceAssistantDevice
+
+    corpus = SyntheticCorpus(n_speakers=2, seed=args.seed)
+    scenario = AttackScenario(room_config=ROOM_A)
+    replay = ReplayAttack(corpus, corpus.speakers[0])
+    rng = np.random.default_rng(args.seed + 1)
+    print(f"{'device':14} {'65 dB':>8} {'75 dB':>8}")
+    for name, spec in VA_DEVICES.items():
+        cells = []
+        for level in (65.0, 75.0):
+            successes = 0
+            for attempt in range(args.attempts):
+                attack = replay.generate(
+                    command=spec.wake_word,
+                    rng=child_rng(rng, f"{name}{level}{attempt}"),
+                )
+                interior = scenario.channel.transmit(
+                    attack.waveform, attack.sample_rate, level,
+                    rng=child_rng(rng, f"b{attempt}"),
+                )
+                device = VoiceAssistantDevice(spec)
+                successes += device.try_trigger(
+                    propagate(interior, attack.sample_rate, 2.0),
+                    attack.sample_rate,
+                    rng=child_rng(rng, f"t{attempt}"),
+                ).triggered
+            cells.append(successes)
+        print(
+            f"{name:14} {cells[0]:>5}/{args.attempts} "
+            f"{cells[1]:>5}/{args.attempts}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "select": _cmd_select,
+        "evaluate": _cmd_evaluate,
+        "attack-study": _cmd_attack_study,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Core defense system — the paper's primary contribution.
+
+Contains the training-free thru-barrier attack detector: cross-device
+synchronization, offline barrier-effect-sensitive phoneme selection,
+BRNN-based phoneme segmentation, vibration-domain feature extraction, and
+the 2-D-correlation detector, plus the audio-domain and
+vibration-without-selection baselines used in the paper's evaluation.
+"""
+
+from repro.core.phoneme_selection import (
+    PhonemeSelectionConfig,
+    PhonemeSelectionResult,
+    PhonemeSelector,
+)
+from repro.core.features import (
+    FeatureConfig,
+    VibrationFeatureExtractor,
+)
+from repro.core.detector import (
+    CorrelationDetector,
+    DetectorConfig,
+)
+from repro.core.sync import SyncConfig, synchronize_recordings
+from repro.core.segmentation import (
+    PhonemeSegmenter,
+    SegmenterConfig,
+    concatenate_segments,
+)
+from repro.core.baselines import (
+    AudioDomainBaseline,
+    VibrationBaselineNoSelection,
+)
+from repro.core.pipeline import DefenseConfig, DefensePipeline, DefenseVerdict
+from repro.core.calibration import (
+    CalibrationReport,
+    calibrate_eer,
+    calibrate_max_fdr,
+    calibrate_min_tdr,
+)
+from repro.core.system import CommandJudgement, ThruBarrierDefense
+
+__all__ = [
+    "PhonemeSelectionConfig",
+    "PhonemeSelectionResult",
+    "PhonemeSelector",
+    "FeatureConfig",
+    "VibrationFeatureExtractor",
+    "CorrelationDetector",
+    "DetectorConfig",
+    "SyncConfig",
+    "synchronize_recordings",
+    "PhonemeSegmenter",
+    "SegmenterConfig",
+    "concatenate_segments",
+    "AudioDomainBaseline",
+    "VibrationBaselineNoSelection",
+    "DefenseConfig",
+    "DefensePipeline",
+    "DefenseVerdict",
+    "CalibrationReport",
+    "calibrate_eer",
+    "calibrate_max_fdr",
+    "calibrate_min_tdr",
+    "CommandJudgement",
+    "ThruBarrierDefense",
+]

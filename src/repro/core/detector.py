@@ -1,0 +1,78 @@
+"""Thru-barrier attack detector based on 2-D correlation (paper § VI-C).
+
+The detector computes the 2-D Pearson correlation (Eq. (6)) between the
+normalized vibration-domain features of the VA's and the wearable's
+recordings.  Legitimate voices produce strong, repeatable vibration
+signatures → high correlation; thru-barrier attack sounds are dominated
+by low frequencies, so the accelerometer injects random noise into each
+replay → low correlation.  A threshold on the score decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.correlate import correlation_2d
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DetectorConfig:
+    """Detector parameters.
+
+    Attributes
+    ----------
+    threshold:
+        Correlation score below which a voice command is declared a
+        thru-barrier attack.  ``None`` leaves the detector in scoring
+        mode (thresholds are usually calibrated by the evaluation
+        harness at the EER operating point).
+    """
+
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold is not None and not -1.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must lie in [-1, 1], got {self.threshold}"
+            )
+
+
+class CorrelationDetector:
+    """Scores and classifies feature pairs by 2-D correlation."""
+
+    def __init__(self, config: DetectorConfig = None) -> None:
+        self.config = config or DetectorConfig()
+
+    def score(
+        self,
+        features_va: np.ndarray,
+        features_wearable: np.ndarray,
+    ) -> float:
+        """2-D correlation between the two devices' vibration features.
+
+        Higher means more consistent (more likely legitimate).
+        """
+        return correlation_2d(features_va, features_wearable)
+
+    def is_attack(
+        self,
+        features_va: np.ndarray,
+        features_wearable: np.ndarray,
+    ) -> bool:
+        """Thresholded decision; requires a configured threshold."""
+        if self.config.threshold is None:
+            raise ConfigurationError(
+                "detector has no threshold; set DetectorConfig.threshold "
+                "or calibrate one with repro.eval"
+            )
+        return self.score(features_va, features_wearable) < (
+            self.config.threshold
+        )
+
+    def with_threshold(self, threshold: float) -> "CorrelationDetector":
+        """A copy of this detector with ``threshold`` set."""
+        return CorrelationDetector(DetectorConfig(threshold=threshold))

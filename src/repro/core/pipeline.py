@@ -1,0 +1,261 @@
+"""End-to-end defense pipeline — the library's main entry point.
+
+Composes the whole §IV-C architecture: cross-device synchronization →
+sensitive-phoneme segmentation on the VA recording → segment extraction
+from both recordings → cross-domain sensing on the wearable → vibration
+feature extraction → 2-D-correlation attack detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.detector import CorrelationDetector, DetectorConfig
+from repro.core.features import FeatureConfig, VibrationFeatureExtractor
+from repro.core.segmentation import (
+    PhonemeSegmenter,
+    concatenate_segments,
+)
+from repro.core.sync import SyncConfig, synchronize_recordings
+from repro.errors import ConfigurationError, SignalError
+from repro.phonemes.corpus import Utterance
+from repro.sensing.cross_domain import CrossDomainSensor
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+@dataclass
+class DefenseConfig:
+    """Pipeline-level configuration.
+
+    Attributes
+    ----------
+    audio_rate:
+        Audio sampling rate of the device recordings.
+    detector:
+        Detector (threshold) configuration.
+    features:
+        Vibration feature configuration.
+    sync:
+        Synchronization configuration.
+    min_audio_s:
+        Minimum concatenated-segment duration required for a reliable
+        verdict; shorter material falls back to the full recording.
+    wearer_moving:
+        Simulate the user wearing (and moving) the watch during the
+        replay: body-motion interference (0.3-3.5 Hz) is added to the
+        accelerometer readings, which the feature extractor's high-pass
+        and artifact crop must absorb.
+    """
+
+    audio_rate: float = 16_000.0
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    sync: SyncConfig = field(default_factory=SyncConfig)
+    min_audio_s: float = 0.25
+    wearer_moving: bool = False
+
+    def __post_init__(self) -> None:
+        if self.audio_rate <= 0:
+            raise ConfigurationError("audio_rate must be > 0")
+        if self.min_audio_s < 0:
+            raise ConfigurationError("min_audio_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class DefenseVerdict:
+    """Outcome of analyzing one voice command.
+
+    Attributes
+    ----------
+    score:
+        2-D correlation between the devices' vibration features (higher
+        = more likely legitimate).
+    is_attack:
+        Thresholded decision, or ``None`` when no threshold configured.
+    n_segments:
+        Number of sensitive-phoneme segments used.
+    analyzed_duration_s:
+        Total duration of audio material fed to cross-domain sensing.
+    sync_delay_s:
+        Estimated cross-device recording offset that was corrected.
+    """
+
+    score: float
+    is_attack: Optional[bool]
+    n_segments: int
+    analyzed_duration_s: float
+    sync_delay_s: float
+
+
+class DefensePipeline:
+    """Training-free thru-barrier attack detection system.
+
+    Parameters
+    ----------
+    segmenter:
+        A (trained) sensitive-phoneme segmenter, or ``None`` to analyze
+        full recordings (equivalent to the no-selection baseline).
+    sensor:
+        Cross-domain sensor of the user's wearable.
+    config:
+        Pipeline configuration.
+
+    Examples
+    --------
+    >>> pipeline = DefensePipeline(segmenter=None)
+    >>> # verdict = pipeline.analyze(va_rec, wearable_rec, rng=0)
+    """
+
+    def __init__(
+        self,
+        segmenter: Optional[PhonemeSegmenter] = None,
+        sensor: Optional[CrossDomainSensor] = None,
+        config: Optional[DefenseConfig] = None,
+    ) -> None:
+        self.segmenter = segmenter
+        self.sensor = sensor or CrossDomainSensor()
+        self.config = config or DefenseConfig()
+        self.detector = CorrelationDetector(self.config.detector)
+        self._extractor = VibrationFeatureExtractor(
+            self.config.features, sample_rate=self.sensor.vibration_rate
+        )
+
+    def analyze(
+        self,
+        va_audio: np.ndarray,
+        wearable_audio: np.ndarray,
+        rng: SeedLike = None,
+        oracle_utterance: Optional[Utterance] = None,
+    ) -> DefenseVerdict:
+        """Analyze one voice command captured by both devices.
+
+        Parameters
+        ----------
+        va_audio / wearable_audio:
+            The two devices' recordings at ``config.audio_rate``.
+        rng:
+            Randomness for the cross-domain sensing replays.
+        oracle_utterance:
+            When given (ablation/testing), segments come from the
+            utterance's ground-truth alignment instead of the BRNN.
+
+        Returns
+        -------
+        DefenseVerdict
+        """
+        generator = as_generator(rng)
+        config = self.config
+        va_aligned, wearable_aligned, delay_s = synchronize_recordings(
+            va_audio, wearable_audio, config.audio_rate, config.sync
+        )
+
+        segments = self._find_segments(va_aligned, oracle_utterance)
+        va_material, wearable_material, n_segments = self._extract_material(
+            va_aligned, wearable_aligned, segments
+        )
+
+        vibration_va = self.sensor.convert(
+            va_material, config.audio_rate,
+            rng=child_rng(generator, "replay-va"),
+            include_body_motion=config.wearer_moving,
+        )
+        vibration_wearable = self.sensor.convert(
+            wearable_material, config.audio_rate,
+            rng=child_rng(generator, "replay-wearable"),
+            include_body_motion=config.wearer_moving,
+        )
+        features_va = self._extractor.extract(vibration_va)
+        features_wearable = self._extractor.extract(vibration_wearable)
+        score = self.detector.score(features_va, features_wearable)
+
+        is_attack: Optional[bool] = None
+        if config.detector.threshold is not None:
+            is_attack = score < config.detector.threshold
+        return DefenseVerdict(
+            score=score,
+            is_attack=is_attack,
+            n_segments=n_segments,
+            analyzed_duration_s=va_material.size / config.audio_rate,
+            sync_delay_s=delay_s,
+        )
+
+    def score(
+        self,
+        va_audio: np.ndarray,
+        wearable_audio: np.ndarray,
+        rng: SeedLike = None,
+        oracle_utterance: Optional[Utterance] = None,
+    ) -> float:
+        """Correlation score only (used by the evaluation harness)."""
+        return self.analyze(
+            va_audio, wearable_audio, rng=rng,
+            oracle_utterance=oracle_utterance,
+        ).score
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _find_segments(
+        self,
+        va_audio: np.ndarray,
+        oracle_utterance: Optional[Utterance],
+    ) -> List[Tuple[float, float]]:
+        if self.segmenter is None:
+            return []
+        if oracle_utterance is not None:
+            # Oracle segments are timed relative to the utterance start;
+            # locate that start inside the (synced) VA recording first.
+            offset_s = self._locate_utterance(va_audio, oracle_utterance)
+            return [
+                (start + offset_s, end + offset_s)
+                for start, end in self.segmenter.oracle_segments(
+                    oracle_utterance
+                )
+            ]
+        return self.segmenter.segments(va_audio)
+
+    def _locate_utterance(
+        self,
+        va_audio: np.ndarray,
+        utterance: Utterance,
+    ) -> float:
+        """Offset (s) of the utterance onset within the VA recording."""
+        from repro.dsp.correlate import cross_correlation_delay
+
+        max_lag = min(
+            va_audio.size - 1,
+            int(round(1.5 * self.config.audio_rate)),
+        )
+        delay = cross_correlation_delay(
+            va_audio, utterance.waveform, max_lag
+        )
+        return max(0.0, -delay / self.config.audio_rate)
+
+    def _extract_material(
+        self,
+        va_audio: np.ndarray,
+        wearable_audio: np.ndarray,
+        segments: Sequence[Tuple[float, float]],
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Cut sensitive segments from both recordings (VA's timeline).
+
+        Falls back to the full recordings when segmentation yields too
+        little material for a stable correlation.
+        """
+        config = self.config
+        if segments:
+            va_material = concatenate_segments(
+                va_audio, segments, config.audio_rate
+            )
+            wearable_material = concatenate_segments(
+                wearable_audio, segments, config.audio_rate
+            )
+            if va_material.size >= config.min_audio_s * config.audio_rate:
+                return va_material, wearable_material, len(segments)
+        if va_audio.size == 0 or wearable_audio.size == 0:
+            raise SignalError("cannot analyze empty recordings")
+        return np.asarray(va_audio), np.asarray(wearable_audio), 0

@@ -1,0 +1,58 @@
+"""Cross-device synchronization (paper § VI-A).
+
+The wearable starts recording when the VA's wake-word trigger message
+arrives over WiFi, so its recording lags by the network delay (~100 ms).
+The residual offset is estimated with normalized cross-correlation
+(Eq. (5)) and trimmed so both recordings start at the same command onset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dsp.correlate import align_by_cross_correlation
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SyncConfig:
+    """Synchronization parameters.
+
+    Attributes
+    ----------
+    max_delay_s:
+        Largest WiFi/network delay the estimator searches over; local
+        networks stay well under 0.5 s.
+    """
+
+    max_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_delay_s <= 0:
+            raise ConfigurationError("max_delay_s must be > 0")
+
+
+def synchronize_recordings(
+    va_audio: np.ndarray,
+    wearable_audio: np.ndarray,
+    sample_rate: float,
+    config: SyncConfig = None,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Align the two devices' recordings of the same voice command.
+
+    Returns ``(va_aligned, wearable_aligned, estimated_delay_s)`` with
+    equal-length outputs.  Positive delay means the wearable recording
+    led the VA's (its extra head samples were trimmed); negative means
+    the wearable started late and the VA recording was trimmed instead.
+    """
+    config = config or SyncConfig()
+    if sample_rate <= 0:
+        raise ConfigurationError("sample_rate must be > 0")
+    max_lag = int(round(config.max_delay_s * sample_rate))
+    va_aligned, wearable_aligned, delay = align_by_cross_correlation(
+        va_audio, wearable_audio, max_lag
+    )
+    return va_aligned, wearable_aligned, delay / sample_rate

@@ -1,0 +1,249 @@
+"""Top-level defense system façade.
+
+:class:`ThruBarrierDefense` packages the whole deployment story into one
+object: train the segmenter, calibrate an operating threshold from
+simulated traffic, and judge incoming voice commands — enforcing the
+threat model's wearable-presence policy (commands are rejected outright
+when the user's wearable is absent, as § II specifies).
+
+This is the interface an integrator would use; the lower-level pieces
+(:class:`~repro.core.pipeline.DefensePipeline` and friends) stay
+available for research use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.calibration import (
+    CalibrationReport,
+    calibrate_eer,
+    calibrate_max_fdr,
+)
+from repro.core.pipeline import DefensePipeline
+from repro.core.segmentation import (
+    PhonemeSegmenter,
+    train_default_segmenter,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.sensing.wearables import FOSSIL_GEN_5, WearableProfile
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+@dataclass(frozen=True)
+class CommandJudgement:
+    """The system's decision on one voice command.
+
+    Attributes
+    ----------
+    accepted:
+        Whether the command should be executed.
+    reason:
+        Human-readable explanation.
+    score:
+        Correlation score, when one was computed.
+    """
+
+    accepted: bool
+    reason: str
+    score: Optional[float] = None
+
+
+class ThruBarrierDefense:
+    """Deployable thru-barrier attack defense for one household.
+
+    Parameters
+    ----------
+    wearable:
+        The user's wearable hardware profile.
+    seed:
+        Master seed for segmenter training and internal draws.
+    segmenter:
+        Pre-trained segmenter; trained on construction when omitted.
+
+    Examples
+    --------
+    >>> defense = ThruBarrierDefense(seed=3)       # doctest: +SKIP
+    >>> defense.calibrate(legit_scores, attack_scores)  # doctest: +SKIP
+    >>> defense.judge(va_rec, wearable_rec)        # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        wearable: WearableProfile = FOSSIL_GEN_5,
+        seed: SeedLike = None,
+        segmenter: Optional[PhonemeSegmenter] = None,
+    ) -> None:
+        self._rng = as_generator(seed)
+        self.wearable = wearable
+        self.segmenter = segmenter or train_default_segmenter(
+            seed=child_rng(self._rng, "segmenter")
+        )
+        self.pipeline = DefensePipeline(
+            segmenter=self.segmenter,
+            sensor=wearable.make_sensor(),
+        )
+        self._calibration: Optional[CalibrationReport] = None
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    @property
+    def is_calibrated(self) -> bool:
+        """Whether an operating threshold has been set."""
+        return self._calibration is not None
+
+    @property
+    def calibration(self) -> CalibrationReport:
+        """The active calibration (raises if not yet calibrated)."""
+        if self._calibration is None:
+            raise CalibrationError(
+                "system is not calibrated; call calibrate() first"
+            )
+        return self._calibration
+
+    def calibrate(
+        self,
+        legit_scores: Sequence[float],
+        attack_scores: Sequence[float],
+        max_fdr: Optional[float] = None,
+    ) -> CalibrationReport:
+        """Set the operating threshold from calibration scores.
+
+        Uses the EER point by default, or a usability-first maximum
+        false-detection rate when ``max_fdr`` is given.
+        """
+        if max_fdr is None:
+            report = calibrate_eer(legit_scores, attack_scores)
+        else:
+            report = calibrate_max_fdr(
+                legit_scores, attack_scores, max_fdr=max_fdr
+            )
+        self._calibration = report
+        return report
+
+    def set_threshold(self, threshold: float) -> None:
+        """Install an externally chosen threshold."""
+        if not -1.0 <= threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must lie in [-1, 1], got {threshold}"
+            )
+        self._calibration = CalibrationReport(
+            threshold=float(threshold),
+            expected_fdr=float("nan"),
+            expected_tdr=float("nan"),
+            strategy="manual",
+        )
+
+    # ------------------------------------------------------------------
+    # Judging commands
+    # ------------------------------------------------------------------
+
+    def score(
+        self,
+        va_recording: np.ndarray,
+        wearable_recording: np.ndarray,
+        rng: SeedLike = None,
+    ) -> float:
+        """Correlation score for one recording pair."""
+        return self.pipeline.score(
+            va_recording, wearable_recording, rng=rng
+        )
+
+    def judge(
+        self,
+        va_recording: Optional[np.ndarray],
+        wearable_recording: Optional[np.ndarray],
+        rng: SeedLike = None,
+    ) -> CommandJudgement:
+        """Decide whether a voice command should be executed.
+
+        Implements the threat-model policy: a missing wearable (or
+        missing wearable recording) rejects the command outright; an
+        uncalibrated system refuses to accept anything.
+        """
+        if wearable_recording is None or (
+            getattr(wearable_recording, "size", 0) == 0
+        ):
+            return CommandJudgement(
+                accepted=False,
+                reason="wearable absent: commands are rejected by "
+                       "policy",
+            )
+        if va_recording is None or va_recording.size == 0:
+            return CommandJudgement(
+                accepted=False,
+                reason="no VA recording available",
+            )
+        if not self.is_calibrated:
+            return CommandJudgement(
+                accepted=False,
+                reason="system not calibrated; refusing open-loop "
+                       "acceptance",
+            )
+        score = self.score(va_recording, wearable_recording, rng=rng)
+        threshold = self.calibration.threshold
+        if score < threshold:
+            return CommandJudgement(
+                accepted=False,
+                reason=(
+                    f"thru-barrier attack detected (score {score:.3f} "
+                    f"< threshold {threshold:.3f})"
+                ),
+                score=score,
+            )
+        return CommandJudgement(
+            accepted=True,
+            reason=(
+                f"vibration signatures consistent (score {score:.3f} "
+                f">= threshold {threshold:.3f})"
+            ),
+            score=score,
+        )
+
+    def judge_repeated(
+        self,
+        recording_pairs: Sequence[tuple],
+        rng: SeedLike = None,
+    ) -> CommandJudgement:
+        """Judge a command the user was asked to repeat.
+
+        Averaging the correlation score over repeated utterances of the
+        same command shrinks the score variance by ~1/sqrt(k) — a cheap
+        robustness extension for borderline cases (e.g., quiet speech at
+        5 m, Fig. 11(c)'s failure mode).
+        """
+        if not recording_pairs:
+            raise ConfigurationError(
+                "need at least one recording pair"
+            )
+        generator = as_generator(rng)
+        scores = []
+        for index, (va_recording, wearable_recording) in enumerate(
+            recording_pairs
+        ):
+            single = self.judge(
+                va_recording,
+                wearable_recording,
+                rng=child_rng(generator, f"rep-{index}"),
+            )
+            if single.score is None:
+                return single  # Policy rejection propagates.
+            scores.append(single.score)
+        mean_score = float(np.mean(scores))
+        threshold = self.calibration.threshold
+        accepted = mean_score >= threshold
+        return CommandJudgement(
+            accepted=accepted,
+            reason=(
+                f"mean score over {len(scores)} repetitions "
+                f"{mean_score:.3f} "
+                f"{'>=' if accepted else '<'} threshold "
+                f"{threshold:.3f}"
+            ),
+            score=mean_score,
+        )

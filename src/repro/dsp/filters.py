@@ -1,0 +1,107 @@
+"""IIR and FIR filtering helpers built on scipy.signal.
+
+Used for: the wearable's high-pass preprocessing that removes body-motion
+interference, barrier/microphone/loudspeaker frequency shaping, and the
+anti-aliased decimation path (the accelerometer path deliberately skips it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import signal as sp_signal
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def _validate_cutoff(cutoff_hz: float, sample_rate: float, name: str) -> float:
+    ensure_positive(sample_rate, "sample_rate")
+    cutoff_hz = float(cutoff_hz)
+    if not (0 < cutoff_hz < sample_rate / 2):
+        raise ConfigurationError(
+            f"{name} must lie strictly inside (0, Nyquist={sample_rate / 2}); "
+            f"got {cutoff_hz}"
+        )
+    return cutoff_hz
+
+
+def butter_highpass(
+    signal: np.ndarray,
+    sample_rate: float,
+    cutoff_hz: float,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase Butterworth high-pass filter."""
+    samples = ensure_1d(signal)
+    cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="highpass", fs=sample_rate, output="sos"
+    )
+    return _sosfiltfilt_safe(sos, samples)
+
+
+def butter_lowpass(
+    signal: np.ndarray,
+    sample_rate: float,
+    cutoff_hz: float,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase Butterworth low-pass filter."""
+    samples = ensure_1d(signal)
+    cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
+    sos = sp_signal.butter(
+        order, cutoff_hz, btype="lowpass", fs=sample_rate, output="sos"
+    )
+    return _sosfiltfilt_safe(sos, samples)
+
+
+def butter_bandpass(
+    signal: np.ndarray,
+    sample_rate: float,
+    low_hz: float,
+    high_hz: float,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase Butterworth band-pass filter."""
+    samples = ensure_1d(signal)
+    low_hz = _validate_cutoff(low_hz, sample_rate, "low_hz")
+    high_hz = _validate_cutoff(high_hz, sample_rate, "high_hz")
+    if low_hz >= high_hz:
+        raise ConfigurationError(
+            f"low_hz ({low_hz}) must be < high_hz ({high_hz})"
+        )
+    sos = sp_signal.butter(
+        order, [low_hz, high_hz], btype="bandpass", fs=sample_rate,
+        output="sos",
+    )
+    return _sosfiltfilt_safe(sos, samples)
+
+
+def fir_lowpass(
+    signal: np.ndarray,
+    sample_rate: float,
+    cutoff_hz: float,
+    n_taps: int = 101,
+) -> np.ndarray:
+    """Linear-phase FIR low-pass filter (Hamming-windowed sinc)."""
+    samples = ensure_1d(signal)
+    cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
+    if n_taps < 3 or n_taps % 2 == 0:
+        raise ConfigurationError(
+            f"n_taps must be an odd integer >= 3, got {n_taps}"
+        )
+    taps = sp_signal.firwin(n_taps, cutoff_hz, fs=sample_rate)
+    filtered = np.convolve(samples, taps, mode="same")
+    return filtered
+
+
+def _sosfiltfilt_safe(sos: np.ndarray, samples: np.ndarray) -> np.ndarray:
+    """Apply sosfiltfilt, falling back to sosfilt for very short signals.
+
+    ``sosfiltfilt`` needs a minimum pad length; short vibration snippets
+    (a handful of accelerometer samples) would otherwise raise.
+    """
+    pad_needed = 3 * (2 * sos.shape[0] + 1)
+    if samples.size <= pad_needed:
+        return sp_signal.sosfilt(sos, samples)
+    return sp_signal.sosfiltfilt(sos, samples)

@@ -1,0 +1,128 @@
+"""Mel filterbanks and Mel-frequency cepstral coefficients.
+
+The phoneme-segmentation front end (paper § V-B) computes 14th-order MFCCs
+over 40 mel filterbank channels restricted to 0–900 Hz, on 25 ms frames
+hopped by 10 ms.  Those are the defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dsp.windows import frame_signal, get_window
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def hz_to_mel(frequency_hz: np.ndarray) -> np.ndarray:
+    """Convert Hz to mel (O'Shaughnessy formula, as in HTK)."""
+    frequency_hz = np.asarray(frequency_hz, dtype=np.float64)
+    return 2595.0 * np.log10(1.0 + frequency_hz / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    """Convert mel to Hz (inverse of :func:`hz_to_mel`)."""
+    mel = np.asarray(mel, dtype=np.float64)
+    return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    n_filters: int,
+    n_fft: int,
+    sample_rate: float,
+    low_hz: float = 0.0,
+    high_hz: Optional[float] = None,
+) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(n_filters, n_fft // 2 + 1)``.
+
+    Filters partition [``low_hz``, ``high_hz``] on the mel scale with
+    triangular responses whose peaks are unit gain.
+    """
+    if n_filters <= 0:
+        raise ConfigurationError(f"n_filters must be > 0, got {n_filters}")
+    if n_fft <= 0:
+        raise ConfigurationError(f"n_fft must be > 0, got {n_fft}")
+    ensure_positive(sample_rate, "sample_rate")
+    nyquist = sample_rate / 2.0
+    if high_hz is None:
+        high_hz = nyquist
+    if not (0 <= low_hz < high_hz <= nyquist):
+        raise ConfigurationError(
+            f"need 0 <= low_hz < high_hz <= Nyquist ({nyquist}); "
+            f"got low_hz={low_hz}, high_hz={high_hz}"
+        )
+
+    mel_points = np.linspace(
+        hz_to_mel(np.array(low_hz)),
+        hz_to_mel(np.array(high_hz)),
+        n_filters + 2,
+    )
+    hz_points = mel_to_hz(mel_points)
+    bin_freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+
+    bank = np.zeros((n_filters, bin_freqs.size))
+    for index in range(n_filters):
+        left, center, right = hz_points[index : index + 3]
+        rising = (bin_freqs - left) / max(center - left, 1e-12)
+        falling = (right - bin_freqs) / max(right - center, 1e-12)
+        bank[index] = np.clip(np.minimum(rising, falling), 0.0, None)
+    return bank
+
+
+def _dct_ii_matrix(n_output: int, n_input: int) -> np.ndarray:
+    """Orthonormal DCT-II basis, shape ``(n_output, n_input)``."""
+    grid = np.arange(n_input)
+    basis = np.cos(
+        np.pi / n_input * (grid + 0.5)[np.newaxis, :]
+        * np.arange(n_output)[:, np.newaxis]
+    )
+    basis *= np.sqrt(2.0 / n_input)
+    basis[0] /= np.sqrt(2.0)
+    return basis
+
+
+def mfcc(
+    signal: np.ndarray,
+    sample_rate: float,
+    n_mfcc: int = 14,
+    n_filters: int = 40,
+    frame_length_s: float = 0.025,
+    hop_length_s: float = 0.010,
+    low_hz: float = 0.0,
+    high_hz: Optional[float] = 900.0,
+    window: str = "hamming",
+) -> np.ndarray:
+    """Mel-frequency cepstral coefficients per frame.
+
+    Parameters mirror § V-B of the paper: 25 ms frames, 10 ms hop, 40 mel
+    channels, 14 cepstral coefficients, filterbank limited to 0–900 Hz so
+    the features stay informative for barrier-attenuated sounds.
+
+    Returns an array of shape ``(n_frames, n_mfcc)``.
+    """
+    samples = ensure_1d(signal)
+    ensure_positive(sample_rate, "sample_rate")
+    if n_mfcc <= 0 or n_mfcc > n_filters:
+        raise ConfigurationError(
+            f"n_mfcc must be in [1, n_filters={n_filters}], got {n_mfcc}"
+        )
+    frame_length = max(int(round(frame_length_s * sample_rate)), 1)
+    hop_length = max(int(round(hop_length_s * sample_rate)), 1)
+
+    frames = frame_signal(samples, frame_length, hop_length, pad_final=True)
+    tapered = frames * get_window(window, frame_length)[np.newaxis, :]
+
+    n_fft = 1
+    while n_fft < frame_length:
+        n_fft *= 2
+    power = np.abs(np.fft.rfft(tapered, n=n_fft, axis=1)) ** 2
+
+    bank = mel_filterbank(
+        n_filters, n_fft, sample_rate, low_hz=low_hz, high_hz=high_hz
+    )
+    mel_energy = power @ bank.T
+    log_energy = np.log(mel_energy + 1e-10)
+    basis = _dct_ii_matrix(n_mfcc, n_filters)
+    return log_energy @ basis.T

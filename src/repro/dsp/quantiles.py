@@ -1,0 +1,68 @@
+"""Quartile spectral statistics for phoneme selection.
+
+Section V-A of the paper computes, per phoneme and per frequency bin, the
+*third quartile* FFT magnitude over a population of recorded segments
+(Q3: 75 % of recordings have energy at or below this value... the paper
+phrases it as "75% of the recorded sounds with energy over this value",
+i.e. the 25th percentile from above — the third quartile of the
+distribution).  Criteria I/II then compare the max/min of that profile
+against a noise-floor threshold alpha.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+from repro.dsp.spectrum import fft_magnitude
+from repro.utils.validation import ensure_1d
+
+
+def spectral_quartile_profile(
+    signals: Sequence[np.ndarray],
+    sample_rate: float,
+    n_fft: int,
+    quantile: float = 0.75,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-frequency quantile of FFT magnitudes over many recordings.
+
+    Parameters
+    ----------
+    signals:
+        Population of recordings of the same phoneme.
+    sample_rate:
+        Sampling rate shared by all recordings.
+    n_fft:
+        FFT length; recordings are truncated/zero-padded so all spectra
+        share a frequency axis.
+    quantile:
+        Which quantile of the per-bin magnitude distribution to return;
+        0.75 gives the paper's third quartile.
+
+    Returns
+    -------
+    (frequencies, profile):
+        ``profile[k]`` is the requested quantile of the magnitude at
+        ``frequencies[k]`` across all recordings.
+    """
+    if not signals:
+        raise SignalError("signals must be a non-empty sequence")
+    if not 0.0 < quantile < 1.0:
+        raise ConfigurationError(
+            f"quantile must lie in (0, 1), got {quantile}"
+        )
+    magnitudes = []
+    frequencies = None
+    for signal in signals:
+        samples = ensure_1d(signal)
+        if samples.size > n_fft:
+            samples = samples[:n_fft]
+        frequencies, magnitude = fft_magnitude(
+            samples, sample_rate, n_fft=n_fft
+        )
+        magnitudes.append(magnitude)
+    stacked = np.vstack(magnitudes)
+    profile = np.quantile(stacked, quantile, axis=0)
+    return frequencies, profile

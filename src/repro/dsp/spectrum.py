@@ -1,0 +1,127 @@
+"""Single-shot spectral analysis: FFT magnitude, PSD, band energies.
+
+These are the primitives behind the paper's Figures 3, 4, and 6, which all
+plot (averaged or quartile) FFT magnitudes of phoneme sounds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+def fft_frequencies(n_samples: int, sample_rate: float) -> np.ndarray:
+    """Frequency axis (Hz) for the one-sided FFT of an n-sample signal."""
+    if n_samples <= 0:
+        raise ConfigurationError(f"n_samples must be > 0, got {n_samples}")
+    ensure_positive(sample_rate, "sample_rate")
+    return np.fft.rfftfreq(n_samples, d=1.0 / sample_rate)
+
+
+def fft_magnitude(
+    signal: np.ndarray,
+    sample_rate: float,
+    n_fft: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-sided FFT magnitude spectrum, normalized by signal length.
+
+    Returns ``(frequencies, magnitudes)``.  Normalizing by the number of
+    samples makes magnitudes comparable across signals of different
+    durations, which the phoneme-selection criteria rely on.
+    """
+    samples = ensure_1d(signal)
+    ensure_positive(sample_rate, "sample_rate")
+    if n_fft is None:
+        n_fft = samples.size
+    if n_fft <= 0:
+        raise ConfigurationError(f"n_fft must be > 0, got {n_fft}")
+    spectrum = np.fft.rfft(samples, n=n_fft)
+    magnitudes = np.abs(spectrum) * (2.0 / samples.size)
+    frequencies = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+    return frequencies, magnitudes
+
+
+def mean_fft_magnitude(
+    signals: Sequence[np.ndarray],
+    sample_rate: float,
+    n_fft: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average one-sided FFT magnitude over a collection of signals.
+
+    Reproduces the paper's averaging over 100 recorded segments per
+    phoneme (Fig. 3 / Fig. 4).  Signals are truncated or zero-padded to
+    ``n_fft`` samples so spectra share one frequency axis.
+    """
+    if not signals:
+        raise SignalError("signals must be a non-empty sequence")
+    accumulated = np.zeros(n_fft // 2 + 1)
+    for signal in signals:
+        samples = ensure_1d(signal)
+        if samples.size > n_fft:
+            samples = samples[:n_fft]
+        _, magnitude = fft_magnitude(samples, sample_rate, n_fft=n_fft)
+        accumulated += magnitude
+    frequencies = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+    return frequencies, accumulated / len(signals)
+
+
+def power_spectral_density(
+    signal: np.ndarray,
+    sample_rate: float,
+    n_fft: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Periodogram power spectral density (one-sided)."""
+    samples = ensure_1d(signal)
+    ensure_positive(sample_rate, "sample_rate")
+    if n_fft is None:
+        n_fft = samples.size
+    spectrum = np.fft.rfft(samples, n=n_fft)
+    psd = (np.abs(spectrum) ** 2) / (sample_rate * samples.size)
+    # One-sided correction: double every bin except DC (and Nyquist when
+    # n_fft is even).
+    if n_fft % 2 == 0:
+        psd[1:-1] *= 2.0
+    else:
+        psd[1:] *= 2.0
+    frequencies = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+    return frequencies, psd
+
+
+def band_energy(
+    signal: np.ndarray,
+    sample_rate: float,
+    low_hz: float,
+    high_hz: float,
+) -> float:
+    """Total spectral energy of ``signal`` between ``low_hz`` and ``high_hz``."""
+    if low_hz < 0 or high_hz <= low_hz:
+        raise ConfigurationError(
+            f"invalid band [{low_hz}, {high_hz}]; need 0 <= low < high"
+        )
+    frequencies, psd = power_spectral_density(signal, sample_rate)
+    mask = (frequencies >= low_hz) & (frequencies < high_hz)
+    return float(np.sum(psd[mask]))
+
+
+def band_energy_ratio(
+    signal: np.ndarray,
+    sample_rate: float,
+    split_hz: float,
+) -> float:
+    """Fraction of total spectral energy above ``split_hz``.
+
+    The paper's audio-domain heuristic: thru-barrier sounds keep little
+    energy above ~500 Hz.  Returns a value in [0, 1]; 0 when the signal
+    has no energy at all.
+    """
+    ensure_positive(split_hz, "split_hz")
+    frequencies, psd = power_spectral_density(signal, sample_rate)
+    total = float(np.sum(psd))
+    if total <= 0:
+        return 0.0
+    high = float(np.sum(psd[frequencies >= split_hz]))
+    return high / total

@@ -1,0 +1,89 @@
+"""Window functions and signal framing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SignalError
+from repro.utils.validation import ensure_1d
+
+_WINDOWS = ("hann", "hamming", "rect", "blackman")
+
+
+def get_window(name: str, length: int) -> np.ndarray:
+    """Return a window of ``length`` samples.
+
+    Supported names: ``hann``, ``hamming``, ``rect``, ``blackman``.
+    """
+    if length <= 0:
+        raise ConfigurationError(f"window length must be > 0, got {length}")
+    if name == "hann":
+        return np.hanning(length)
+    if name == "hamming":
+        return np.hamming(length)
+    if name == "blackman":
+        return np.blackman(length)
+    if name == "rect":
+        return np.ones(length)
+    raise ConfigurationError(
+        f"unknown window {name!r}; expected one of {_WINDOWS}"
+    )
+
+
+def frame_signal(
+    signal: np.ndarray,
+    frame_length: int,
+    hop_length: int,
+    pad_final: bool = True,
+) -> np.ndarray:
+    """Slice a 1-D signal into overlapping frames.
+
+    Parameters
+    ----------
+    signal:
+        Input samples.
+    frame_length:
+        Samples per frame.
+    hop_length:
+        Samples advanced between consecutive frames.
+    pad_final:
+        When True, a trailing partial frame is zero-padded to full length;
+        when False, trailing samples that do not fill a frame are dropped.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_frames, frame_length)``.
+    """
+    samples = ensure_1d(signal)
+    if frame_length <= 0:
+        raise ConfigurationError(
+            f"frame_length must be > 0, got {frame_length}"
+        )
+    if hop_length <= 0:
+        raise ConfigurationError(f"hop_length must be > 0, got {hop_length}")
+    if samples.size < frame_length:
+        if not pad_final:
+            raise SignalError(
+                f"signal of {samples.size} samples is shorter than one "
+                f"frame ({frame_length} samples)"
+            )
+        padded = np.zeros(frame_length)
+        padded[: samples.size] = samples
+        return padded[np.newaxis, :]
+
+    if pad_final:
+        n_frames = 1 + int(np.ceil((samples.size - frame_length) / hop_length))
+        needed = (n_frames - 1) * hop_length + frame_length
+        if needed > samples.size:
+            samples = np.concatenate(
+                [samples, np.zeros(needed - samples.size)]
+            )
+    else:
+        n_frames = 1 + (samples.size - frame_length) // hop_length
+
+    indices = (
+        np.arange(frame_length)[np.newaxis, :]
+        + hop_length * np.arange(n_frames)[:, np.newaxis]
+    )
+    return samples[indices]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or invoked with invalid parameters."""
+
+
+class SignalError(ReproError):
+    """A signal does not satisfy the preconditions of an operation.
+
+    Raised, for example, when a signal is empty, has the wrong
+    dimensionality, or is too short for the requested transform.
+    """
+
+
+class SynthesisError(ReproError):
+    """Speech synthesis could not produce the requested sound."""
+
+
+class ModelError(ReproError):
+    """A neural-network model is malformed, untrained, or incompatible."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-protocol invariant was violated during simulation."""
+
+
+class CalibrationError(ReproError):
+    """Detector calibration failed (e.g., degenerate score distributions)."""

@@ -1,0 +1,316 @@
+"""Data-collection campaign: generate recordings, score them (§ VII-A).
+
+The campaign mirrors the paper's protocol: in each room, every assigned
+participant takes a turn as the legitimate user (speaking commands at
+several distances and natural volumes) and as the victim of attacks
+launched behind the room's barrier at configurable SPLs, with the
+remaining participants serving as adversaries.  Every sample is scored
+by a bank of detectors (the full system plus the two baselines), and the
+resulting score sets feed the ROC/AUC/EER metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackKind
+from repro.attacks.hidden_voice import HiddenVoiceAttack
+from repro.attacks.random_attack import RandomAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario
+from repro.attacks.synthesis import VoiceSynthesisAttack
+from repro.acoustics.room import RoomConfig
+from repro.core.baselines import (
+    AudioDomainBaseline,
+    VibrationBaselineNoSelection,
+)
+from repro.core.pipeline import DefensePipeline
+from repro.core.segmentation import PhonemeSegmenter
+from repro.errors import ConfigurationError
+from repro.eval.participants import ParticipantPool
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus, Utterance
+from repro.phonemes.speaker import SpeakerProfile
+from repro.utils.rng import SeedLike, as_generator, child_rng, derive_seed
+
+#: Detector keys used throughout the evaluation.
+FULL_SYSTEM = "full_system"
+VIBRATION_BASELINE = "vibration_baseline"
+AUDIO_BASELINE = "audio_baseline"
+
+
+@dataclass
+class CampaignConfig:
+    """Size and condition parameters of a campaign run.
+
+    The defaults are scaled down from the paper's five-month campaign to
+    laptop-friendly sizes; benchmarks scale them up via parameters.
+    """
+
+    n_commands_per_participant: int = 4
+    n_attacks_per_kind: int = 4
+    user_spl_range: Tuple[float, float] = (65.0, 75.0)
+    user_distances_m: Tuple[float, ...] = (1.0, 2.0, 3.0)
+    attack_spl_db: float = 75.0
+    barrier_to_va_m: float = 2.0
+    barrier_to_wearable_m: float = 2.0
+    use_oracle_segmentation: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_commands_per_participant <= 0:
+            raise ConfigurationError(
+                "n_commands_per_participant must be > 0"
+            )
+        if self.n_attacks_per_kind <= 0:
+            raise ConfigurationError("n_attacks_per_kind must be > 0")
+        if not self.user_distances_m:
+            raise ConfigurationError("user_distances_m must be non-empty")
+
+
+class DetectorBank:
+    """The full system plus baselines, scored on the same recordings."""
+
+    def __init__(
+        self,
+        segmenter: Optional[PhonemeSegmenter],
+        pipeline: Optional[DefensePipeline] = None,
+        vibration_baseline: Optional[VibrationBaselineNoSelection] = None,
+        audio_baseline: Optional[AudioDomainBaseline] = None,
+        include_baselines: bool = True,
+    ) -> None:
+        self.pipeline = pipeline or DefensePipeline(segmenter=segmenter)
+        self.include_baselines = include_baselines
+        self.vibration_baseline = (
+            vibration_baseline or VibrationBaselineNoSelection()
+            if include_baselines
+            else None
+        )
+        self.audio_baseline = (
+            audio_baseline or AudioDomainBaseline()
+            if include_baselines
+            else None
+        )
+
+    @property
+    def detector_names(self) -> List[str]:
+        """Keys under which scores are reported."""
+        names = [FULL_SYSTEM]
+        if self.include_baselines:
+            names += [VIBRATION_BASELINE, AUDIO_BASELINE]
+        return names
+
+    def score_all(
+        self,
+        va_recording: np.ndarray,
+        wearable_recording: np.ndarray,
+        utterance: Optional[Utterance],
+        use_oracle: bool,
+        rng: SeedLike,
+    ) -> Dict[str, float]:
+        """Score one recording pair with every detector in the bank."""
+        generator = as_generator(rng)
+        oracle = utterance if use_oracle else None
+        scores = {
+            FULL_SYSTEM: self.pipeline.score(
+                va_recording,
+                wearable_recording,
+                rng=child_rng(generator, "full"),
+                oracle_utterance=oracle,
+            )
+        }
+        if self.include_baselines:
+            scores[VIBRATION_BASELINE] = self.vibration_baseline.score(
+                va_recording,
+                wearable_recording,
+                rng=child_rng(generator, "vib"),
+            )
+            scores[AUDIO_BASELINE] = self.audio_baseline.score(
+                va_recording, wearable_recording
+            )
+        return scores
+
+
+@dataclass
+class ScoreSet:
+    """Scores collected by a campaign, split by detector and attack."""
+
+    legit: Dict[str, List[float]] = field(default_factory=dict)
+    attacks: Dict[AttackKind, Dict[str, List[float]]] = field(
+        default_factory=dict
+    )
+
+    def add_legit(self, scores: Dict[str, float]) -> None:
+        """Record one legitimate sample's scores."""
+        for detector, value in scores.items():
+            self.legit.setdefault(detector, []).append(value)
+
+    def add_attack(
+        self, kind: AttackKind, scores: Dict[str, float]
+    ) -> None:
+        """Record one attack sample's scores."""
+        bucket = self.attacks.setdefault(kind, {})
+        for detector, value in scores.items():
+            bucket.setdefault(detector, []).append(value)
+
+    def merge(self, other: "ScoreSet") -> None:
+        """Fold another score set into this one."""
+        for detector, values in other.legit.items():
+            self.legit.setdefault(detector, []).extend(values)
+        for kind, buckets in other.attacks.items():
+            target = self.attacks.setdefault(kind, {})
+            for detector, values in buckets.items():
+                target.setdefault(detector, []).extend(values)
+
+
+def _make_attack_generators(
+    corpus: SyntheticCorpus,
+    victim: SpeakerProfile,
+    adversary: SpeakerProfile,
+    kinds: Sequence[AttackKind],
+    rng: np.random.Generator,
+) -> Dict[AttackKind, object]:
+    generators: Dict[AttackKind, object] = {}
+    for kind in kinds:
+        if kind is AttackKind.RANDOM:
+            generators[kind] = RandomAttack(corpus, adversary)
+        elif kind is AttackKind.REPLAY:
+            generators[kind] = ReplayAttack(corpus, victim)
+        elif kind is AttackKind.SYNTHESIS:
+            generators[kind] = VoiceSynthesisAttack(
+                corpus, victim, rng=child_rng(rng, "tts")
+            )
+        elif kind is AttackKind.HIDDEN_VOICE:
+            generators[kind] = HiddenVoiceAttack(corpus)
+        else:  # pragma: no cover - future kinds
+            raise ConfigurationError(f"unsupported attack kind {kind}")
+    return generators
+
+
+def collect_scores(
+    rooms: Sequence[RoomConfig],
+    pool: ParticipantPool,
+    detectors: DetectorBank,
+    attack_kinds: Sequence[AttackKind],
+    config: CampaignConfig,
+    corpus: Optional[SyntheticCorpus] = None,
+) -> ScoreSet:
+    """Run a campaign and return every detector's score distributions.
+
+    For each room, each assigned participant speaks
+    ``n_commands_per_participant`` commands (legitimate samples) and is
+    attacked ``n_attacks_per_kind`` times per attack kind, with the next
+    participant in the pool as the adversary.
+    """
+    corpus = corpus or SyntheticCorpus(
+        speakers=pool.speakers, seed=config.seed
+    )
+    scores = ScoreSet()
+    assignments = pool.room_assignments([room.name for room in rooms])
+    for room in rooms:
+        scenario = AttackScenario(
+            room_config=room,
+            barrier_to_va_m=config.barrier_to_va_m,
+            barrier_to_wearable_m=config.barrier_to_wearable_m,
+        )
+        for victim_index, victim in enumerate(assignments[room.name]):
+            # Take-turns protocol: the remaining participants serve as
+            # adversaries, rotating per victim.
+            adversaries = pool.adversaries_for(victim)
+            adversary = adversaries[victim_index % len(adversaries)]
+            room_seed = derive_seed(
+                config.seed, room.name, victim.speaker_id
+            )
+            rng = np.random.default_rng(room_seed)
+            _score_legitimate(
+                scores, scenario, corpus, victim, detectors, config, rng
+            )
+            _score_attacks(
+                scores,
+                scenario,
+                corpus,
+                victim,
+                adversary,
+                attack_kinds,
+                detectors,
+                config,
+                rng,
+            )
+    return scores
+
+
+def _score_legitimate(
+    scores: ScoreSet,
+    scenario: AttackScenario,
+    corpus: SyntheticCorpus,
+    victim: SpeakerProfile,
+    detectors: DetectorBank,
+    config: CampaignConfig,
+    rng: np.random.Generator,
+) -> None:
+    for index in range(config.n_commands_per_participant):
+        command = VA_COMMANDS[
+            int(rng.integers(0, len(VA_COMMANDS)))
+        ]
+        utterance = corpus.utterance(
+            phonemize(command),
+            speaker=victim,
+            text=command,
+            rng=child_rng(rng, f"legit-utt-{index}"),
+        )
+        distance = config.user_distances_m[
+            index % len(config.user_distances_m)
+        ]
+        scenario.user_to_va_m = distance
+        spl = float(rng.uniform(*config.user_spl_range))
+        va_rec, wearable_rec = scenario.legitimate_recordings(
+            utterance, spl_db=spl, rng=child_rng(rng, f"legit-rec-{index}")
+        )
+        scores.add_legit(
+            detectors.score_all(
+                va_rec,
+                wearable_rec,
+                utterance,
+                config.use_oracle_segmentation,
+                rng=child_rng(rng, f"legit-score-{index}"),
+            )
+        )
+
+
+def _score_attacks(
+    scores: ScoreSet,
+    scenario: AttackScenario,
+    corpus: SyntheticCorpus,
+    victim: SpeakerProfile,
+    adversary: SpeakerProfile,
+    attack_kinds: Sequence[AttackKind],
+    detectors: DetectorBank,
+    config: CampaignConfig,
+    rng: np.random.Generator,
+) -> None:
+    generators = _make_attack_generators(
+        corpus, victim, adversary, attack_kinds, rng
+    )
+    for kind, generator in generators.items():
+        for index in range(config.n_attacks_per_kind):
+            attack = generator.generate(
+                rng=child_rng(rng, f"{kind.value}-gen-{index}")
+            )
+            va_rec, wearable_rec = scenario.attack_recordings(
+                attack,
+                spl_db=config.attack_spl_db,
+                rng=child_rng(rng, f"{kind.value}-rec-{index}"),
+            )
+            scores.add_attack(
+                kind,
+                detectors.score_all(
+                    va_rec,
+                    wearable_rec,
+                    attack.utterance,
+                    config.use_oracle_segmentation,
+                    rng=child_rng(rng, f"{kind.value}-score-{index}"),
+                ),
+            )

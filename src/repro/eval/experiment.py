@@ -1,0 +1,166 @@
+"""High-level experiments: Fig. 9/10 ROC studies and Fig. 11 sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackKind
+from repro.acoustics.materials import BarrierMaterial
+from repro.acoustics.room import RoomConfig
+from repro.core.segmentation import PhonemeSegmenter
+from repro.errors import ConfigurationError
+from repro.eval.campaign import (
+    CampaignConfig,
+    DetectorBank,
+    ScoreSet,
+    collect_scores,
+)
+from repro.eval.metrics import DetectionMetrics, evaluate_scores, roc_curve
+from repro.eval.participants import ParticipantPool
+from repro.eval.rooms import ROOMS
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Metrics and raw scores of one attack experiment."""
+
+    attack_kind: AttackKind
+    metrics: Dict[str, DetectionMetrics]
+    scores: ScoreSet
+
+    def roc(self, detector: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(FDR, TDR) ROC series of one detector."""
+        _, fdr, tdr = roc_curve(
+            self.scores.legit[detector],
+            self.scores.attacks[self.attack_kind][detector],
+        )
+        return fdr, tdr
+
+
+def _default_pool(seed: int, n_participants: int) -> ParticipantPool:
+    return ParticipantPool(n_participants=n_participants, seed=seed)
+
+
+def run_attack_experiment(
+    attack_kind: AttackKind,
+    rooms: Optional[Sequence[RoomConfig]] = None,
+    segmenter: Optional[PhonemeSegmenter] = None,
+    config: Optional[CampaignConfig] = None,
+    pool: Optional[ParticipantPool] = None,
+    detectors: Optional[DetectorBank] = None,
+) -> ExperimentResult:
+    """One Fig. 9/10-style experiment: ROC of all detectors vs one attack.
+
+    With no arguments this runs a scaled-down campaign across all four
+    rooms using oracle segmentation (training-free, like the paper's
+    core detector; the BRNN segmenter can be passed in for the full
+    online pipeline).
+    """
+    config = config or CampaignConfig()
+    rooms = list(rooms) if rooms is not None else list(ROOMS.values())
+    pool = pool or _default_pool(config.seed, n_participants=8)
+    detectors = detectors or DetectorBank(segmenter=segmenter)
+    scores = collect_scores(
+        rooms, pool, detectors, [attack_kind], config
+    )
+    metrics = {
+        detector: evaluate_scores(
+            scores.legit[detector],
+            scores.attacks[attack_kind][detector],
+        )
+        for detector in detectors.detector_names
+    }
+    return ExperimentResult(
+        attack_kind=attack_kind, metrics=metrics, scores=scores
+    )
+
+
+def run_factor_sweep(
+    factor: str,
+    values: Sequence,
+    attack_kinds: Sequence[AttackKind],
+    base_config: Optional[CampaignConfig] = None,
+    rooms: Optional[Sequence[RoomConfig]] = None,
+    segmenter: Optional[PhonemeSegmenter] = None,
+    pool: Optional[ParticipantPool] = None,
+    detectors: Optional[DetectorBank] = None,
+) -> Dict[object, Dict[AttackKind, Dict[str, DetectionMetrics]]]:
+    """Fig. 11-style sweep of one impacting factor.
+
+    Parameters
+    ----------
+    factor:
+        One of ``"attack_spl"`` (Fig. 11a), ``"barrier_material"``
+        (11b), ``"barrier_to_va"`` (11c), ``"room"`` (11d).
+    values:
+        Factor values: SPLs in dB, :class:`BarrierMaterial` objects,
+        distances in meters, or :class:`RoomConfig` objects.
+    attack_kinds:
+        Attacks to evaluate at each factor value.
+
+    Returns
+    -------
+    dict
+        ``{value_label: {attack_kind: {detector: metrics}}}``.
+    """
+    base_config = base_config or CampaignConfig()
+    pool = pool or _default_pool(base_config.seed, n_participants=8)
+    detectors = detectors or DetectorBank(segmenter=segmenter)
+    results: Dict[object, Dict[AttackKind, Dict[str, DetectionMetrics]]] = {}
+
+    for value in values:
+        config = base_config
+        if factor == "attack_spl":
+            config = replace(base_config, attack_spl_db=float(value))
+            sweep_rooms = (
+                list(rooms) if rooms is not None else list(ROOMS.values())
+            )
+            label = f"{float(value):.0f}dB"
+        elif factor == "barrier_material":
+            if not isinstance(value, BarrierMaterial):
+                raise ConfigurationError(
+                    "barrier_material sweep expects BarrierMaterial values"
+                )
+            template = (
+                list(rooms)[0] if rooms is not None else ROOMS["Room A"]
+            )
+            sweep_rooms = [replace(template, barrier=value)]
+            label = value.name
+        elif factor == "barrier_to_va":
+            config = replace(
+                base_config, barrier_to_va_m=float(value)
+            )
+            sweep_rooms = (
+                list(rooms) if rooms is not None else list(ROOMS.values())
+            )
+            label = f"{float(value):.0f}m"
+        elif factor == "room":
+            if not isinstance(value, RoomConfig):
+                raise ConfigurationError(
+                    "room sweep expects RoomConfig values"
+                )
+            sweep_rooms = [value]
+            label = value.name
+        else:
+            raise ConfigurationError(
+                f"unknown factor {factor!r}; expected attack_spl, "
+                "barrier_material, barrier_to_va, or room"
+            )
+
+        scores = collect_scores(
+            sweep_rooms, pool, detectors, attack_kinds, config
+        )
+        results[label] = {
+            kind: {
+                detector: evaluate_scores(
+                    scores.legit[detector],
+                    scores.attacks[kind][detector],
+                )
+                for detector in detectors.detector_names
+            }
+            for kind in attack_kinds
+        }
+    return results

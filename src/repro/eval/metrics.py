@@ -1,0 +1,155 @@
+"""Detection metrics: TDR, FDR, ROC, AUC, EER (paper § VII-A).
+
+Convention: a command is flagged as an attack when its correlation score
+falls *below* the detection threshold.  Thus:
+
+* **TDR** (true detection rate) — fraction of attack samples whose score
+  is below the threshold.
+* **FDR** (false detection rate) — fraction of legitimate samples whose
+  score is below the threshold.
+* The ROC plots TDR against FDR as the threshold sweeps; AUC is its
+  integral; EER is the point where FDR equals the miss rate (1 − TDR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+
+def _validate(scores_legit, scores_attack) -> Tuple[np.ndarray, np.ndarray]:
+    legit = np.asarray(scores_legit, dtype=np.float64).ravel()
+    attack = np.asarray(scores_attack, dtype=np.float64).ravel()
+    if legit.size == 0 or attack.size == 0:
+        raise CalibrationError(
+            "need at least one legitimate and one attack score"
+        )
+    if not (np.all(np.isfinite(legit)) and np.all(np.isfinite(attack))):
+        raise CalibrationError("scores must be finite")
+    return legit, attack
+
+
+def roc_curve(
+    scores_legit: Sequence[float],
+    scores_attack: Sequence[float],
+    n_thresholds: int = 101,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve over a uniform threshold grid.
+
+    Returns ``(thresholds, fdr, tdr)``.  The grid spans slightly past
+    the observed score range so the curve reaches (0, 0) and (1, 1) —
+    the paper sweeps thresholds 0→1 with step 0.01.
+    """
+    legit, attack = _validate(scores_legit, scores_attack)
+    low = min(legit.min(), attack.min()) - 1e-6
+    high = max(legit.max(), attack.max()) + 1e-6
+    thresholds = np.linspace(low, high, n_thresholds)
+    fdr = np.array([(legit < t).mean() for t in thresholds])
+    tdr = np.array([(attack < t).mean() for t in thresholds])
+    return thresholds, fdr, tdr
+
+
+def auc_from_scores(
+    scores_legit: Sequence[float],
+    scores_attack: Sequence[float],
+) -> float:
+    """Exact area under the ROC curve (Mann–Whitney statistic).
+
+    Equals the probability that a random attack sample scores below a
+    random legitimate sample (ties count half).
+    """
+    legit, attack = _validate(scores_legit, scores_attack)
+    # Rank-based computation: O((n+m) log(n+m)), exact.
+    combined = np.concatenate([attack, legit])
+    order = np.argsort(combined, kind="mergesort")
+    ranks = np.empty(combined.size, dtype=np.float64)
+    sorted_vals = combined[order]
+    # Average ranks for ties.
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while (
+            j + 1 < sorted_vals.size
+            and sorted_vals[j + 1] == sorted_vals[i]
+        ):
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_attack = ranks[: attack.size].sum()
+    n_attack, n_legit = attack.size, legit.size
+    u_statistic = rank_sum_attack - n_attack * (n_attack + 1) / 2.0
+    # u counts attack>legit pairs; we want attack<legit.
+    return float(1.0 - u_statistic / (n_attack * n_legit))
+
+
+def eer_from_scores(
+    scores_legit: Sequence[float],
+    scores_attack: Sequence[float],
+) -> Tuple[float, float]:
+    """Equal error rate and the threshold achieving it.
+
+    Finds the threshold where FDR and the miss rate (1 − TDR) cross,
+    interpolating linearly between candidate thresholds.
+    """
+    legit, attack = _validate(scores_legit, scores_attack)
+    candidates = np.unique(np.concatenate([legit, attack]))
+    midpoints = np.concatenate(
+        [
+            [candidates[0] - 1e-9],
+            0.5 * (candidates[1:] + candidates[:-1]),
+            [candidates[-1] + 1e-9],
+        ]
+    )
+    best_gap = np.inf
+    eer = 0.5
+    best_threshold = float(midpoints[0])
+    for threshold in midpoints:
+        fdr = float((legit < threshold).mean())
+        fnr = float((attack >= threshold).mean())
+        gap = abs(fdr - fnr)
+        if gap < best_gap or (
+            gap == best_gap and (fdr + fnr) / 2.0 < eer
+        ):
+            best_gap = gap
+            eer = (fdr + fnr) / 2.0
+            best_threshold = float(threshold)
+    return float(eer), best_threshold
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Summary metrics of one detector on one score set."""
+
+    auc: float
+    eer: float
+    eer_threshold: float
+    n_legit: int
+    n_attack: int
+
+    def __str__(self) -> str:
+        return (
+            f"AUC {self.auc:.3f}, EER {self.eer * 100:.1f}% "
+            f"(threshold {self.eer_threshold:.3f}, "
+            f"{self.n_legit} legit / {self.n_attack} attack)"
+        )
+
+
+def evaluate_scores(
+    scores_legit: Sequence[float],
+    scores_attack: Sequence[float],
+) -> DetectionMetrics:
+    """Compute AUC and EER for a legit/attack score set."""
+    legit, attack = _validate(scores_legit, scores_attack)
+    auc = auc_from_scores(legit, attack)
+    eer, threshold = eer_from_scores(legit, attack)
+    return DetectionMetrics(
+        auc=auc,
+        eer=eer,
+        eer_threshold=threshold,
+        n_legit=legit.size,
+        n_attack=attack.size,
+    )

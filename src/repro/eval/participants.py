@@ -1,0 +1,78 @@
+"""Participant pool and room assignments (paper § VII-A).
+
+Twenty participants: ten run the experiments in Rooms A and B, five in
+Room C, and five in Room D.  Each participant is a synthetic speaker;
+the pool also provides the take-turns victim/adversary pairing used for
+the attack evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.phonemes.speaker import SpeakerProfile, generate_speakers
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+@dataclass
+class ParticipantPool:
+    """The evaluation's participant pool with room assignments.
+
+    Parameters
+    ----------
+    n_participants:
+        Pool size (paper: 20; scaled-down campaigns may use fewer).
+    seed:
+        Seed for speaker generation.
+    """
+
+    n_participants: int = 20
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.n_participants < 2:
+            raise ConfigurationError(
+                "need at least 2 participants (victim + adversary)"
+            )
+        rng = as_generator(self.seed)
+        self.speakers: Tuple[SpeakerProfile, ...] = tuple(
+            generate_speakers(
+                self.n_participants, rng=child_rng(rng, "speakers")
+            )
+        )
+
+    def room_assignments(
+        self, room_names: Sequence[str] = ("Room A", "Room B", "Room C",
+                                           "Room D"),
+    ) -> Dict[str, List[SpeakerProfile]]:
+        """Assign participants to rooms following the paper's split.
+
+        With a 20-speaker pool: the first ten do Rooms A and B, the next
+        five Room C, the last five Room D.  Smaller pools split
+        proportionally (at least one speaker per room).
+        """
+        speakers = list(self.speakers)
+        n = len(speakers)
+        n_ab = max(n // 2, 1)
+        n_c = max((n - n_ab) // 2, 1)
+        group_ab = speakers[:n_ab]
+        group_c = speakers[n_ab : n_ab + n_c]
+        group_d = speakers[n_ab + n_c :] or speakers[-1:]
+        mapping = {
+            "Room A": group_ab,
+            "Room B": group_ab,
+            "Room C": group_c,
+            "Room D": group_d,
+        }
+        return {name: mapping[name] for name in room_names}
+
+    def adversaries_for(
+        self, victim: SpeakerProfile
+    ) -> List[SpeakerProfile]:
+        """Everyone except the victim (the take-turns protocol)."""
+        return [
+            speaker for speaker in self.speakers
+            if speaker.speaker_id != victim.speaker_id
+        ]

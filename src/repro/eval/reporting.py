@@ -1,0 +1,100 @@
+"""Plain-text reporting helpers for benchmarks and examples.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers format them consistently without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(
+            header.ljust(width) for header, width in zip(headers, widths)
+        )
+    )
+    lines.append(separator)
+    for row in rendered_rows:
+        lines.append(
+            " | ".join(
+                cell.ljust(width) for cell, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[object],
+    y_values: Sequence[float],
+    title: str = "",
+    y_format: str = "{:.3f}",
+) -> str:
+    """Render an (x, y) series as the rows behind a figure panel."""
+    rows = [
+        (x, y_format.format(y)) for x, y in zip(x_values, y_values)
+    ]
+    return format_table([x_label, y_label], rows, title=title)
+
+
+def format_roc_summary(
+    title: str,
+    metrics_by_detector: Mapping[str, object],
+    paper_auc: Mapping[str, float] = None,
+    paper_eer: Mapping[str, float] = None,
+) -> str:
+    """Render the AUC/EER comparison block of a Fig. 9/10 panel."""
+    headers = ["detector", "AUC", "EER"]
+    if paper_auc:
+        headers += ["paper AUC", "paper EER"]
+    rows = []
+    for detector, metrics in metrics_by_detector.items():
+        row = [
+            detector,
+            f"{metrics.auc:.3f}",
+            f"{metrics.eer * 100:.1f}%",
+        ]
+        if paper_auc:
+            row += [
+                f"{paper_auc.get(detector, float('nan')):.3f}",
+                f"{paper_eer.get(detector, float('nan')) * 100:.1f}%",
+            ]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Tiny unicode sparkline for quick visual sanity checks."""
+    blocks = "▁▂▃▄▅▆▇█"
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return ""
+    if array.size > width:
+        indices = np.linspace(0, array.size - 1, width).astype(int)
+        array = array[indices]
+    low, high = float(array.min()), float(array.max())
+    span = high - low if high > low else 1.0
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))]
+        for value in array
+    )

@@ -1,0 +1,58 @@
+"""The paper's four evaluation rooms (§ VII-A).
+
+Room A is a residential apartment with a glass window; Rooms B and C are
+university offices behind wooden doors; Room D is an office behind a
+glass wall.  Sizes follow the paper: 7×6, 7×7, 6×4, and 5×3 meters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.acoustics.materials import (
+    GLASS_WALL,
+    GLASS_WINDOW,
+    WOODEN_DOOR,
+)
+from repro.acoustics.room import RoomConfig
+
+ROOM_A = RoomConfig(
+    name="Room A",
+    width_m=7.0,
+    length_m=6.0,
+    barrier=GLASS_WINDOW,
+    ambient_noise_db=44.0,   # Apartment: quieter than campus offices.
+    reflectivity=0.30,       # Furnished; absorbs more.
+)
+
+ROOM_B = RoomConfig(
+    name="Room B",
+    width_m=7.0,
+    length_m=7.0,
+    barrier=WOODEN_DOOR,
+    ambient_noise_db=46.0,
+    reflectivity=0.35,
+)
+
+ROOM_C = RoomConfig(
+    name="Room C",
+    width_m=6.0,
+    length_m=4.0,
+    barrier=WOODEN_DOOR,
+    ambient_noise_db=47.0,
+    reflectivity=0.35,
+)
+
+ROOM_D = RoomConfig(
+    name="Room D",
+    width_m=5.0,
+    length_m=3.0,
+    barrier=GLASS_WALL,
+    ambient_noise_db=47.0,
+    reflectivity=0.45,       # Small glass-walled office: liveliest.
+)
+
+#: All four rooms keyed by name.
+ROOMS: Dict[str, RoomConfig] = {
+    room.name: room for room in (ROOM_A, ROOM_B, ROOM_C, ROOM_D)
+}

@@ -1,0 +1,30 @@
+"""Neural-network substrate implemented from scratch on numpy.
+
+Provides the pieces the paper's phoneme segmenter needs: an LSTM cell
+with full backpropagation through time, a bidirectional wrapper (BRNN),
+a dense output layer, softmax cross-entropy, the Adam optimizer, and a
+small sequence-model container with save/load.
+"""
+
+from repro.nn.initializers import glorot_uniform, orthogonal
+from repro.nn.lstm import LSTMLayer
+from repro.nn.bidirectional import BidirectionalLSTM
+from repro.nn.dense import Dense
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.adam import Adam
+from repro.nn.model import SequenceClassifier
+from repro.nn.data import pad_sequences, iterate_minibatches
+
+__all__ = [
+    "glorot_uniform",
+    "orthogonal",
+    "LSTMLayer",
+    "BidirectionalLSTM",
+    "Dense",
+    "softmax",
+    "softmax_cross_entropy",
+    "Adam",
+    "SequenceClassifier",
+    "pad_sequences",
+    "iterate_minibatches",
+]

@@ -1,0 +1,65 @@
+"""Adam optimizer (Kingma & Ba), operating on flat parameter dicts."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Adam:
+    """Adam with bias correction; the paper trains its BRNN with ADAM."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be > 0")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ConfigurationError("betas must lie in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._step = 0
+
+    def update(
+        self,
+        params: Dict[str, np.ndarray],
+        grads: Dict[str, np.ndarray],
+    ) -> None:
+        """Apply one Adam step in place.
+
+        ``params`` and ``grads`` must share keys; parameter arrays are
+        modified in place so layers holding references see the update.
+        """
+        if set(params) != set(grads):
+            raise ConfigurationError(
+                "params and grads must have identical keys"
+            )
+        self._step += 1
+        correction1 = 1.0 - self.beta1**self._step
+        correction2 = 1.0 - self.beta2**self._step
+        for key, gradient in grads.items():
+            if key not in self._m:
+                self._m[key] = np.zeros_like(gradient)
+                self._v[key] = np.zeros_like(gradient)
+            self._m[key] = (
+                self.beta1 * self._m[key] + (1 - self.beta1) * gradient
+            )
+            self._v[key] = (
+                self.beta2 * self._v[key] + (1 - self.beta2) * gradient**2
+            )
+            m_hat = self._m[key] / correction1
+            v_hat = self._v[key] / correction2
+            params[key] -= (
+                self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            )

@@ -1,0 +1,73 @@
+"""Batching utilities for variable-length labelled sequences."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def pad_sequences(
+    sequences: Sequence[np.ndarray],
+    labels: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad sequences/labels to a common length with a validity mask.
+
+    Returns ``(x, y, mask)`` where ``x`` has shape
+    ``(batch, max_time, features)``, ``y`` and ``mask`` have shape
+    ``(batch, max_time)``; padded label positions are 0 with mask 0.
+    """
+    if len(sequences) != len(labels):
+        raise ModelError(
+            f"{len(sequences)} sequences but {len(labels)} label arrays"
+        )
+    if not sequences:
+        raise ModelError("need at least one sequence")
+    feature_dim = np.asarray(sequences[0]).shape[-1]
+    max_time = max(np.asarray(seq).shape[0] for seq in sequences)
+    batch = len(sequences)
+    x = np.zeros((batch, max_time, feature_dim))
+    y = np.zeros((batch, max_time), dtype=np.int64)
+    mask = np.zeros((batch, max_time))
+    for index, (sequence, label) in enumerate(zip(sequences, labels)):
+        sequence = np.asarray(sequence, dtype=np.float64)
+        label = np.asarray(label, dtype=np.int64)
+        if sequence.shape[0] != label.shape[0]:
+            raise ModelError(
+                f"sequence {index}: {sequence.shape[0]} frames but "
+                f"{label.shape[0]} labels"
+            )
+        length = sequence.shape[0]
+        x[index, :length] = sequence
+        y[index, :length] = label
+        mask[index, :length] = 1.0
+    return x, y, mask
+
+
+def iterate_minibatches(
+    sequences: Sequence[np.ndarray],
+    labels: Sequence[np.ndarray],
+    batch_size: int,
+    rng: SeedLike = None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield shuffled padded minibatches ``(x, y, mask)``.
+
+    Sequences are sorted into length-adjacent buckets before batching to
+    limit padding waste, then bucket order is shuffled.
+    """
+    if batch_size <= 0:
+        raise ModelError(f"batch_size must be > 0, got {batch_size}")
+    generator = as_generator(rng)
+    order = np.argsort([np.asarray(seq).shape[0] for seq in sequences])
+    batches = [
+        order[start : start + batch_size]
+        for start in range(0, len(order), batch_size)
+    ]
+    generator.shuffle(batches)
+    for batch_indices in batches:
+        batch_sequences = [sequences[i] for i in batch_indices]
+        batch_labels = [labels[i] for i in batch_indices]
+        yield pad_sequences(batch_sequences, batch_labels)

@@ -1,0 +1,43 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+def glorot_uniform(
+    shape: Tuple[int, ...],
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for dense weight matrices."""
+    if len(shape) < 2:
+        raise ConfigurationError(
+            f"glorot_uniform needs a >=2-D shape, got {shape}"
+        )
+    generator = as_generator(rng)
+    fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(
+    shape: Tuple[int, int],
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Orthogonal initialization (standard for recurrent kernels)."""
+    if len(shape) != 2:
+        raise ConfigurationError(
+            f"orthogonal needs a 2-D shape, got {shape}"
+        )
+    generator = as_generator(rng)
+    rows, cols = shape
+    size = max(rows, cols)
+    matrix = generator.standard_normal((size, size))
+    q, r = np.linalg.qr(matrix)
+    q = q * np.sign(np.diag(r))
+    return q[:rows, :cols].copy()

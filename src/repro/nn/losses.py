@@ -1,0 +1,54 @@
+"""Losses and probability utilities."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponent = np.exp(shifted)
+    return exponent / exponent.sum(axis=-1, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer labels + gradient w.r.t. logits.
+
+    Parameters
+    ----------
+    logits:
+        Array of shape ``(..., n_classes)``.
+    labels:
+        Integer labels of shape ``(...)`` matching logits' leading axes.
+
+    Returns
+    -------
+    (loss, grad):
+        Scalar mean loss, and gradient of the same shape as ``logits``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    if logits.shape[:-1] != labels.shape:
+        raise ModelError(
+            f"labels shape {labels.shape} does not match logits leading "
+            f"shape {logits.shape[:-1]}"
+        )
+    probabilities = softmax(logits)
+    flat_probs = probabilities.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1)
+    n = flat_labels.size
+    picked = flat_probs[np.arange(n), flat_labels]
+    loss = float(-np.mean(np.log(picked + 1e-12)))
+    grad_flat = flat_probs.copy()
+    grad_flat[np.arange(n), flat_labels] -= 1.0
+    grad = (grad_flat / n).reshape(logits.shape)
+    return loss, grad

@@ -1,0 +1,216 @@
+"""Sequence classifier: BRNN + dense softmax head, with training loop.
+
+This is the paper's phoneme-detection architecture (§ V-B): a
+bidirectional LSTM over MFCC frames, a 2-neuron dense layer, softmax
+cross-entropy, trained with Adam.  Class count is a parameter so the same
+container serves the binary effective-phoneme detector and any richer
+phoneme classifier built on top.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.adam import Adam
+from repro.nn.bidirectional import BidirectionalLSTM
+from repro.nn.data import iterate_minibatches
+from repro.nn.dense import Dense
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+class SequenceClassifier:
+    """Per-frame sequence classifier (BRNN → dense → softmax).
+
+    Parameters
+    ----------
+    input_dim:
+        Feature dimension per frame (14 MFCCs in the paper).
+    hidden_dim:
+        LSTM units per direction (64 in the paper).
+    n_classes:
+        Output classes (2 for effective-phoneme detection).
+    rng:
+        Seed for weight initialization.
+
+    Examples
+    --------
+    >>> model = SequenceClassifier(input_dim=4, hidden_dim=8, rng=0)
+    >>> import numpy as np
+    >>> x = np.zeros((2, 5, 4))
+    >>> model.predict_proba(x).shape
+    (2, 5, 2)
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int = 64,
+        n_classes: int = 2,
+        rng: SeedLike = None,
+    ) -> None:
+        if n_classes < 2:
+            raise ModelError(f"n_classes must be >= 2, got {n_classes}")
+        generator = as_generator(rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.n_classes = n_classes
+        self.brnn = BidirectionalLSTM(
+            input_dim, hidden_dim, rng=child_rng(generator, "brnn")
+        )
+        self.head = Dense(
+            hidden_dim, n_classes, rng=child_rng(generator, "head")
+        )
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-frame logits, shape ``(batch, time, n_classes)``."""
+        hidden = self.brnn.forward(np.asarray(inputs, dtype=np.float64))
+        return self.head.forward(hidden)
+
+    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-frame class probabilities."""
+        return softmax(self.forward(inputs))
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-frame argmax labels, shape ``(batch, time)``."""
+        return np.argmax(self.forward(inputs), axis=-1)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def train_step(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        optimizer: Adam,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """One forward/backward/update pass; returns the batch loss.
+
+        ``mask`` (same shape as ``labels``) zeroes the loss contribution
+        of padded frames.
+        """
+        logits = self.forward(inputs)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.shape != labels.shape:
+                raise ModelError(
+                    f"mask shape {mask.shape} != labels {labels.shape}"
+                )
+            scale = float(mask.mean()) + 1e-12
+            grad = grad * mask[..., np.newaxis] / scale
+            # Recompute the displayed loss over unmasked frames only.
+            probabilities = softmax(logits)
+            flat = probabilities.reshape(-1, self.n_classes)
+            picked = flat[np.arange(flat.shape[0]), labels.reshape(-1)]
+            losses = -np.log(picked + 1e-12).reshape(labels.shape)
+            loss = float((losses * mask).sum() / (mask.sum() + 1e-12))
+        self.brnn.zero_grads()
+        self.head.zero_grads()
+        grad_hidden = self.head.backward(grad)
+        self.brnn.backward(grad_hidden)
+        params = self.params
+        optimizer.update(params, self.grads)
+        return loss
+
+    def fit(
+        self,
+        sequences: Sequence[np.ndarray],
+        labels: Sequence[np.ndarray],
+        epochs: int = 5,
+        batch_size: int = 16,
+        learning_rate: float = 1e-2,
+        rng: SeedLike = None,
+        verbose: bool = False,
+    ) -> List[float]:
+        """Train on variable-length sequences with per-frame labels.
+
+        Sequences are bucketed into padded minibatches with loss masking.
+        Returns the mean loss per epoch.
+        """
+        generator = as_generator(rng)
+        optimizer = Adam(learning_rate=learning_rate)
+        history = []
+        for epoch in range(epochs):
+            epoch_losses = []
+            for batch_x, batch_y, batch_mask in iterate_minibatches(
+                sequences, labels, batch_size,
+                rng=child_rng(generator, f"epoch{epoch}"),
+            ):
+                loss = self.train_step(
+                    batch_x, batch_y, optimizer, mask=batch_mask
+                )
+                epoch_losses.append(loss)
+            mean_loss = float(np.mean(epoch_losses))
+            history.append(mean_loss)
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {epoch + 1}/{epochs}: loss {mean_loss:.4f}")
+        self._trained = True
+        return history
+
+    # ------------------------------------------------------------------
+    # Parameters and persistence
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Flat parameter dict across all layers."""
+        merged = {
+            f"brnn_{key}": value for key, value in self.brnn.params.items()
+        }
+        merged.update(
+            {f"head_{key}": value for key, value in self.head.params.items()}
+        )
+        return merged
+
+    @property
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Flat gradient dict matching :attr:`params`."""
+        merged = {
+            f"brnn_{key}": value for key, value in self.brnn.grads.items()
+        }
+        merged.update(
+            {f"head_{key}": value for key, value in self.head.grads.items()}
+        )
+        return merged
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize architecture + weights to an ``.npz`` file."""
+        path = Path(path)
+        arrays = {key: value for key, value in self.params.items()}
+        arrays["_meta"] = np.array(
+            [self.input_dim, self.hidden_dim, self.n_classes]
+        )
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SequenceClassifier":
+        """Restore a model saved with :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ModelError(f"model file not found: {path}")
+        with np.load(path) as archive:
+            meta = archive["_meta"]
+            model = cls(
+                input_dim=int(meta[0]),
+                hidden_dim=int(meta[1]),
+                n_classes=int(meta[2]),
+            )
+            params = model.params
+            for key in params:
+                if key not in archive:
+                    raise ModelError(f"missing parameter {key!r} in {path}")
+                params[key][...] = archive[key]
+        model._trained = True
+        return model

@@ -1,0 +1,56 @@
+"""Phoneme and speech-synthesis substrate (TIMIT-corpus substitution).
+
+Provides a 63-symbol TIMIT-style phoneme inventory with per-phoneme
+acoustic parameters, a multi-speaker source–filter synthesizer, a corpus
+builder with time-aligned phonetic transcriptions, and the VA-command
+corpus behind the paper's Table II.
+"""
+
+from repro.phonemes.inventory import (
+    COMMON_PHONEMES,
+    PAPER_SELECTED_PHONEMES,
+    PHONEME_INVENTORY,
+    PhonemeClass,
+    Phoneme,
+    get_phoneme,
+    phoneme_symbols,
+)
+from repro.phonemes.speaker import SpeakerProfile, generate_speakers
+from repro.phonemes.synthesis import (
+    PhonemeSynthesizer,
+    spectral_envelope,
+)
+from repro.phonemes.corpus import (
+    PhonemeInterval,
+    PhonemeSegment,
+    SyntheticCorpus,
+    Utterance,
+)
+from repro.phonemes.commands import (
+    PAPER_TABLE2_COUNTS,
+    VA_COMMANDS,
+    command_phoneme_counts,
+    phonemize,
+)
+
+__all__ = [
+    "COMMON_PHONEMES",
+    "PAPER_SELECTED_PHONEMES",
+    "PHONEME_INVENTORY",
+    "PhonemeClass",
+    "Phoneme",
+    "get_phoneme",
+    "phoneme_symbols",
+    "SpeakerProfile",
+    "generate_speakers",
+    "PhonemeSynthesizer",
+    "spectral_envelope",
+    "PhonemeInterval",
+    "PhonemeSegment",
+    "SyntheticCorpus",
+    "Utterance",
+    "PAPER_TABLE2_COUNTS",
+    "VA_COMMANDS",
+    "command_phoneme_counts",
+    "phonemize",
+]

@@ -1,0 +1,239 @@
+"""VA voice-command corpus and phonemizer (behind the paper's Table II).
+
+The paper derives its 37 common phonemes from lists of popular Alexa and
+Google Assistant commands.  This module ships a representative command
+corpus with a hand-built ARPABET-style lexicon, a phonemizer, and the
+appearance-count computation, plus the paper's own Table II counts for
+comparison.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.phonemes.inventory import COMMON_PHONEMES
+
+#: The paper's Table II appearance counts (reference data).
+PAPER_TABLE2_COUNTS: Dict[str, int] = dict(COMMON_PHONEMES)
+
+#: Word -> phoneme-sequence lexicon for the command corpus (TIMIT symbols,
+#: no stress markers; closures omitted for brevity).
+LEXICON: Dict[str, Tuple[str, ...]] = {
+    "ok": ("ow", "k", "ey"),
+    "google": ("g", "uw", "g", "ah", "l"),
+    "alexa": ("ah", "l", "eh", "k", "s", "ah"),
+    "hey": ("hh", "ey"),
+    "siri": ("s", "ih", "r", "iy"),
+    "turn": ("t", "er", "n"),
+    "on": ("aa", "n"),
+    "off": ("ao", "f"),
+    "the": ("dh", "ah"),
+    "lights": ("l", "ay", "t", "s"),
+    "light": ("l", "ay", "t"),
+    "living": ("l", "ih", "v", "ih", "ng"),
+    "room": ("r", "uw", "m"),
+    "bedroom": ("b", "eh", "d", "r", "uw", "m"),
+    "kitchen": ("k", "ih", "ch", "ah", "n"),
+    "what": ("w", "ah", "t"),
+    "whats": ("w", "ah", "t", "s"),
+    "is": ("ih", "z"),
+    "time": ("t", "ay", "m"),
+    "it": ("ih", "t"),
+    "weather": ("w", "eh", "dh", "er"),
+    "today": ("t", "ah", "d", "ey"),
+    "tomorrow": ("t", "ah", "m", "aa", "r", "ow"),
+    "set": ("s", "eh", "t"),
+    "a": ("ah",),
+    "an": ("ah", "n"),
+    "timer": ("t", "ay", "m", "er"),
+    "for": ("f", "er"),
+    "ten": ("t", "eh", "n"),
+    "five": ("f", "ay", "v"),
+    "twenty": ("t", "w", "eh", "n", "t", "iy"),
+    "minutes": ("m", "ih", "n", "ah", "t", "s"),
+    "minute": ("m", "ih", "n", "ah", "t"),
+    "alarm": ("ah", "l", "aa", "r", "m"),
+    "seven": ("s", "eh", "v", "ah", "n"),
+    "thirty": ("th", "er", "t", "iy"),
+    "am": ("ey", "eh", "m"),
+    "play": ("p", "l", "ey"),
+    "music": ("m", "y", "uw", "z", "ih", "k"),
+    "pause": ("p", "ao", "z"),
+    "stop": ("s", "t", "aa", "p"),
+    "next": ("n", "eh", "k", "s", "t"),
+    "song": ("s", "ao", "ng"),
+    "volume": ("v", "aa", "l", "y", "uw", "m"),
+    "up": ("ah", "p"),
+    "down": ("d", "aw", "n"),
+    "lower": ("l", "ow", "er"),
+    "raise": ("r", "ey", "z"),
+    "temperature": ("t", "eh", "m", "p", "er", "ah", "ch", "er"),
+    "thermostat": ("th", "er", "m", "ah", "s", "t", "ae", "t"),
+    "to": ("t", "uw"),
+    "seventy": ("s", "eh", "v", "ah", "n", "t", "iy"),
+    "degrees": ("d", "ah", "g", "r", "iy", "z"),
+    "lock": ("l", "aa", "k"),
+    "unlock": ("ah", "n", "l", "aa", "k"),
+    "front": ("f", "r", "ah", "n", "t"),
+    "back": ("b", "ae", "k"),
+    "door": ("d", "ao", "r"),
+    "open": ("ow", "p", "ah", "n"),
+    "close": ("k", "l", "ow", "z"),
+    "garage": ("g", "er", "aa", "jh"),
+    "call": ("k", "ao", "l"),
+    "mom": ("m", "aa", "m"),
+    "send": ("s", "eh", "n", "d"),
+    "message": ("m", "eh", "s", "ah", "jh"),
+    "remind": ("r", "iy", "m", "ay", "n", "d"),
+    "me": ("m", "iy"),
+    "at": ("ae", "t"),
+    "add": ("ae", "d"),
+    "milk": ("m", "ih", "l", "k"),
+    "shopping": ("sh", "aa", "p", "ih", "ng"),
+    "list": ("l", "ih", "s", "t"),
+    "my": ("m", "ay"),
+    "tell": ("t", "eh", "l"),
+    "joke": ("jh", "ow", "k"),
+    "news": ("n", "uw", "z"),
+    "read": ("r", "iy", "d"),
+    "how": ("hh", "aw"),
+    "far": ("f", "aa", "r"),
+    "airport": ("eh", "r", "p", "ao", "r", "t"),
+    "traffic": ("t", "r", "ae", "f", "ih", "k"),
+    "like": ("l", "ay", "k"),
+    "will": ("w", "ih", "l"),
+    "rain": ("r", "ey", "n"),
+    "cancel": ("k", "ae", "n", "s", "ah", "l"),
+    "snooze": ("s", "n", "uw", "z"),
+    "good": ("g", "uh", "d"),
+    "morning": ("m", "ao", "r", "n", "ih", "ng"),
+    "night": ("n", "ay", "t"),
+    "start": ("s", "t", "aa", "r", "t"),
+    "vacuum": ("v", "ae", "k", "y", "uw", "m"),
+    "cleaner": ("k", "l", "iy", "n", "er"),
+    "dim": ("d", "ih", "m"),
+    "percent": ("p", "er", "s", "eh", "n", "t"),
+    "fifty": ("f", "ih", "f", "t", "iy"),
+    "coffee": ("k", "aa", "f", "iy"),
+    "maker": ("m", "ey", "k", "er"),
+    "brew": ("b", "r", "uw"),
+    "switch": ("s", "w", "ih", "ch"),
+    "channel": ("ch", "ae", "n", "ah", "l"),
+    "tv": ("t", "iy", "v", "iy"),
+    "increase": ("ih", "n", "k", "r", "iy", "s"),
+    "decrease": ("d", "iy", "k", "r", "iy", "s"),
+    "watch": ("w", "aa", "ch"),
+    "movie": ("m", "uw", "v", "iy"),
+    "search": ("s", "er", "ch"),
+    "question": ("k", "w", "eh", "s", "ch", "ah", "n"),
+    "answer": ("ae", "n", "s", "er"),
+    "repeat": ("r", "iy", "p", "iy", "t"),
+    "that": ("dh", "ae", "t"),
+    "louder": ("l", "aw", "d", "er"),
+    "quieter": ("k", "w", "ay", "ah", "t", "er"),
+    "shuffle": ("sh", "ah", "f", "ah", "l"),
+    "favorite": ("f", "ey", "v", "er", "ah", "t"),
+    "playlist": ("p", "l", "ey", "l", "ih", "s", "t"),
+    "security": ("s", "ah", "k", "y", "uh", "r", "ah", "t", "iy"),
+    "camera": ("k", "ae", "m", "er", "ah"),
+    "show": ("sh", "ow"),
+    "disarm": ("d", "ih", "s", "aa", "r", "m"),
+    "arm": ("aa", "r", "m"),
+    "system": ("s", "ih", "s", "t", "ah", "m"),
+}
+
+#: Representative VA command corpus (wake word + command phrases).
+VA_COMMANDS: Tuple[str, ...] = (
+    "ok google turn on the lights",
+    "ok google turn off the living room lights",
+    "ok google whats the weather today",
+    "ok google set a timer for ten minutes",
+    "ok google play music",
+    "ok google lower the volume",
+    "ok google lock the front door",
+    "ok google open the garage door",
+    "ok google set the thermostat to seventy degrees",
+    "ok google tell me a joke",
+    "ok google read the news",
+    "ok google will it rain tomorrow",
+    "ok google dim the lights to fifty percent",
+    "ok google start the vacuum cleaner",
+    "ok google whats on my shopping list",
+    "alexa turn on the kitchen light",
+    "alexa turn off the bedroom lights",
+    "alexa what time is it",
+    "alexa set an alarm for seven thirty am",
+    "alexa play my favorite playlist",
+    "alexa next song",
+    "alexa stop the music",
+    "alexa add milk to my shopping list",
+    "alexa remind me to call mom at five",
+    "alexa unlock the back door",
+    "alexa show the security camera",
+    "alexa disarm the security system",
+    "alexa increase the temperature",
+    "alexa snooze the alarm",
+    "alexa how far is the airport",
+    "hey siri send a message to mom",
+    "hey siri whats the traffic like",
+    "hey siri turn up the volume",
+    "hey siri pause the music",
+    "hey siri switch the tv channel",
+    "hey siri repeat that",
+    "hey siri cancel my alarm",
+    "hey siri good morning",
+    "hey siri good night",
+    "hey siri watch a movie",
+)
+
+
+def phonemize(text: str) -> List[str]:
+    """Convert command text to a phoneme sequence via the lexicon.
+
+    Words are separated by short pauses (``sp``) so the utterance builder
+    produces natural word boundaries.  Raises on out-of-lexicon words so
+    corpus gaps fail loudly rather than silently skipping words.
+    """
+    words = text.lower().replace("'", "").split()
+    if not words:
+        raise ConfigurationError("text must contain at least one word")
+    sequence: List[str] = []
+    for index, word in enumerate(words):
+        if word not in LEXICON:
+            raise ConfigurationError(
+                f"word {word!r} is not in the command lexicon"
+            )
+        if index > 0:
+            sequence.append("sp")
+        sequence.extend(LEXICON[word])
+    return sequence
+
+
+def command_phoneme_counts(
+    commands: Sequence[str] = VA_COMMANDS,
+) -> Dict[str, int]:
+    """Appearance count of every phoneme across a command corpus.
+
+    This reproduces the counting behind Table II (pause symbols are not
+    counted).
+    """
+    counter: Counter = Counter()
+    for command in commands:
+        for symbol in phonemize(command):
+            if symbol not in ("sp", "sil"):
+                counter[symbol] += 1
+    return dict(counter)
+
+
+def common_phonemes_from_corpus(
+    commands: Sequence[str] = VA_COMMANDS,
+    top_k: int = 37,
+) -> List[str]:
+    """The ``top_k`` most frequent phonemes in a command corpus."""
+    if top_k <= 0:
+        raise ConfigurationError(f"top_k must be > 0, got {top_k}")
+    counts = command_phoneme_counts(commands)
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return [symbol for symbol, _ in ranked[:top_k]]

@@ -1,0 +1,385 @@
+"""TIMIT-style phoneme inventory with per-phoneme acoustic parameters.
+
+The inventory contains 63 symbols (the TIMIT transcription set, including
+closures and pause markers, as counted by the paper).  For each phoneme we
+record the acoustic parameters the source–filter synthesizer needs:
+
+* formant frequencies / bandwidths / gains (vowels, glides, nasals, voiced
+  consonants) — canonical male values from Peterson & Barney-style tables,
+  scaled per speaker at synthesis time;
+* a frication noise band and gain (fricatives, affricates, stop bursts,
+  aspiration);
+* an overall intensity offset in dB relative to a reference vowel — the
+  property behind the paper's Criterion II (weak phonemes such as /s/,
+  /z/, /sh/, /th/ cannot trigger the accelerometer) and Criterion I
+  (over-loud open vowels /aa/, /ao/ still trigger it after the barrier);
+* a typical duration range.
+
+Table II of the paper lists 37 phonemes that dominate VA voice commands,
+with appearance counts; 31 of them are barrier-effect sensitive.  Those
+reference tables are shipped here (``COMMON_PHONEMES``,
+``PAPER_SELECTED_PHONEMES``) so the selection pipeline can be validated
+against the paper's outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class PhonemeClass(enum.Enum):
+    """Broad articulatory classes used to pick a synthesis recipe."""
+
+    VOWEL = "vowel"
+    DIPHTHONG = "diphthong"
+    SEMIVOWEL = "semivowel"
+    NASAL = "nasal"
+    FRICATIVE = "fricative"
+    AFFRICATE = "affricate"
+    STOP = "stop"
+    CLOSURE = "closure"
+    SILENCE = "silence"
+
+
+@dataclass(frozen=True)
+class Phoneme:
+    """Acoustic description of one phoneme.
+
+    Attributes
+    ----------
+    symbol:
+        TIMIT transcription symbol (e.g. ``"ae"``, ``"v"``).
+    klass:
+        Broad articulatory class.
+    voiced:
+        Whether the larynx vibrates during production (drives harmonic
+        synthesis and overall intensity).
+    formants:
+        Formant center frequencies in Hz for a canonical male speaker.
+    formant_bandwidths:
+        Resonance bandwidths in Hz (same length as ``formants``).
+    formant_gains:
+        Linear gain of each resonance peak.
+    noise_band:
+        ``(low_hz, high_hz)`` band of frication/aspiration noise, or
+        ``None`` for purely voiced sounds.
+    noise_gain:
+        Linear gain of the noise component relative to the voiced part.
+    intensity_db:
+        Overall level offset (dB) relative to a reference vowel at 0 dB.
+    duration_range_s:
+        Typical (min, max) segment duration in seconds.
+    """
+
+    symbol: str
+    klass: PhonemeClass
+    voiced: bool
+    formants: Tuple[float, ...] = field(default=())
+    formant_bandwidths: Tuple[float, ...] = field(default=())
+    formant_gains: Tuple[float, ...] = field(default=())
+    noise_band: Optional[Tuple[float, float]] = None
+    noise_gain: float = 0.0
+    intensity_db: float = 0.0
+    duration_range_s: Tuple[float, float] = (0.08, 0.16)
+
+    def __post_init__(self) -> None:
+        if len(self.formants) != len(self.formant_bandwidths):
+            raise ConfigurationError(
+                f"{self.symbol}: formants and bandwidths length mismatch"
+            )
+        if len(self.formants) != len(self.formant_gains):
+            raise ConfigurationError(
+                f"{self.symbol}: formants and gains length mismatch"
+            )
+
+    @property
+    def is_sounding(self) -> bool:
+        """Whether the phoneme produces acoustic energy at all."""
+        return self.klass not in (PhonemeClass.CLOSURE, PhonemeClass.SILENCE)
+
+
+def _vowel(
+    symbol: str,
+    f1: float,
+    f2: float,
+    f3: float,
+    intensity_db: float = 0.0,
+    klass: PhonemeClass = PhonemeClass.VOWEL,
+    duration: Tuple[float, float] = (0.09, 0.18),
+) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        klass=klass,
+        voiced=True,
+        formants=(f1, f2, f3),
+        formant_bandwidths=(60.0, 90.0, 150.0),
+        formant_gains=(1.0, 0.63, 0.32),
+        intensity_db=intensity_db,
+        duration_range_s=duration,
+    )
+
+
+def _nasal(symbol: str, f1: float, f2: float, intensity_db: float) -> Phoneme:
+    # Nasal murmur keeps noticeable energy at the second and third
+    # resonances — that is what lets nasals trigger the accelerometer
+    # when not blocked by a barrier (they are in the paper's sensitive
+    # set).
+    return Phoneme(
+        symbol=symbol,
+        klass=PhonemeClass.NASAL,
+        voiced=True,
+        formants=(f1, f2, 2500.0),
+        formant_bandwidths=(80.0, 160.0, 320.0),
+        formant_gains=(1.0, 0.9, 0.5),
+        intensity_db=intensity_db,
+        duration_range_s=(0.06, 0.12),
+    )
+
+
+def _fricative(
+    symbol: str,
+    band: Tuple[float, float],
+    noise_gain: float,
+    intensity_db: float,
+    voiced: bool = False,
+    formants: Tuple[float, ...] = (),
+) -> Phoneme:
+    bandwidths = tuple(90.0 for _ in formants)
+    gains = tuple(0.8 / (i + 1) for i in range(len(formants)))
+    return Phoneme(
+        symbol=symbol,
+        klass=PhonemeClass.FRICATIVE,
+        voiced=voiced,
+        formants=formants,
+        formant_bandwidths=bandwidths,
+        formant_gains=gains,
+        noise_band=band,
+        noise_gain=noise_gain,
+        intensity_db=intensity_db,
+        duration_range_s=(0.07, 0.14),
+    )
+
+
+def _stop(
+    symbol: str,
+    burst_band: Tuple[float, float],
+    intensity_db: float,
+    voiced: bool,
+) -> Phoneme:
+    formants = (350.0, 1400.0) if voiced else ()
+    bandwidths = tuple(120.0 for _ in formants)
+    gains = tuple(0.7 for _ in formants)
+    return Phoneme(
+        symbol=symbol,
+        klass=PhonemeClass.STOP,
+        voiced=voiced,
+        formants=formants,
+        formant_bandwidths=bandwidths,
+        formant_gains=gains,
+        noise_band=burst_band,
+        noise_gain=1.0,
+        intensity_db=intensity_db,
+        duration_range_s=(0.03, 0.07),
+    )
+
+
+def _silence(symbol: str, klass: PhonemeClass) -> Phoneme:
+    return Phoneme(
+        symbol=symbol,
+        klass=klass,
+        voiced=False,
+        intensity_db=-80.0,
+        duration_range_s=(0.02, 0.08),
+    )
+
+
+def _build_inventory() -> Dict[str, Phoneme]:
+    phonemes = [
+        # --- Monophthong vowels (canonical male formants, Hz) ---
+        _vowel("iy", 270, 2290, 3010, intensity_db=1.0),
+        _vowel("ih", 390, 1990, 2550, intensity_db=0.5),
+        _vowel("eh", 530, 1840, 2480, intensity_db=1.0),
+        _vowel("ae", 660, 1720, 2410, intensity_db=2.0),
+        # /aa/ and /ao/ are pronounced with strong larynx vibration; the
+        # paper singles them out as too loud to lose their high-frequency
+        # energy behind a barrier (Criterion I failures).
+        # The loud open vowels carry a strong low-frequency voicing bar
+        # (modelled as an extra ~250 Hz resonance): pronounced with high
+        # vocal effort, their low harmonics stay strong even behind a
+        # barrier — the paper's Criterion I failures.
+        Phoneme(
+            symbol="aa", klass=PhonemeClass.VOWEL, voiced=True,
+            formants=(250.0, 730.0, 1090.0, 2440.0),
+            formant_bandwidths=(140.0, 70.0, 110.0, 170.0),
+            formant_gains=(0.9, 1.0, 0.9, 0.35),
+            intensity_db=11.5, duration_range_s=(0.09, 0.18),
+        ),
+        Phoneme(
+            symbol="ao", klass=PhonemeClass.VOWEL, voiced=True,
+            formants=(240.0, 570.0, 840.0, 2410.0),
+            formant_bandwidths=(140.0, 70.0, 100.0, 170.0),
+            formant_gains=(0.9, 1.0, 0.9, 0.35),
+            intensity_db=10.0, duration_range_s=(0.09, 0.18),
+        ),
+        _vowel("ah", 640, 1190, 2390, intensity_db=2.0),
+        _vowel("uh", 440, 1020, 2240, intensity_db=0.0),
+        _vowel("uw", 300, 870, 2240, intensity_db=0.5),
+        _vowel("er", 490, 1350, 1690, intensity_db=1.0),
+        _vowel("ax", 500, 1400, 2400, intensity_db=-2.0),
+        _vowel("ix", 420, 1800, 2500, intensity_db=-2.0),
+        _vowel("axr", 480, 1400, 1700, intensity_db=-2.0),
+        _vowel("ax-h", 500, 1400, 2400, intensity_db=-6.0),
+        _vowel("ux", 330, 1700, 2350, intensity_db=0.0),
+        # --- Diphthongs (midpoint formants; glide handled at synthesis) ---
+        _vowel("ey", 480, 1950, 2600, intensity_db=1.5,
+               klass=PhonemeClass.DIPHTHONG, duration=(0.12, 0.22)),
+        _vowel("ay", 620, 1500, 2500, intensity_db=2.0,
+               klass=PhonemeClass.DIPHTHONG, duration=(0.12, 0.22)),
+        _vowel("aw", 690, 1200, 2450, intensity_db=2.0,
+               klass=PhonemeClass.DIPHTHONG, duration=(0.12, 0.22)),
+        _vowel("oy", 520, 1000, 2400, intensity_db=1.5,
+               klass=PhonemeClass.DIPHTHONG, duration=(0.12, 0.22)),
+        _vowel("ow", 470, 950, 2350, intensity_db=1.5,
+               klass=PhonemeClass.DIPHTHONG, duration=(0.12, 0.22)),
+        # --- Semivowels and glides ---
+        _vowel("l", 360, 1300, 2700, intensity_db=-1.0,
+               klass=PhonemeClass.SEMIVOWEL, duration=(0.05, 0.10)),
+        _vowel("el", 380, 1300, 2700, intensity_db=-2.0,
+               klass=PhonemeClass.SEMIVOWEL, duration=(0.06, 0.12)),
+        _vowel("r", 420, 1300, 1600, intensity_db=-1.0,
+               klass=PhonemeClass.SEMIVOWEL, duration=(0.05, 0.10)),
+        _vowel("w", 300, 750, 2200, intensity_db=-1.0,
+               klass=PhonemeClass.SEMIVOWEL, duration=(0.05, 0.10)),
+        _vowel("y", 280, 2200, 2900, intensity_db=-1.0,
+               klass=PhonemeClass.SEMIVOWEL, duration=(0.05, 0.10)),
+        _fricative("hh", (400.0, 2500.0), 0.8, -8.0),
+        _fricative("hv", (400.0, 2500.0), 0.6, -10.0, voiced=True,
+                   formants=(500.0, 1500.0)),
+        # --- Nasals ---
+        _nasal("m", 250, 1100, -1.0),
+        _nasal("n", 280, 1450, -3.0),
+        _nasal("ng", 280, 1300, -2.5),
+        _nasal("em", 250, 1100, -6.0),
+        _nasal("en", 280, 1450, -6.0),
+        _nasal("eng", 280, 1300, -6.0),
+        _nasal("nx", 280, 1450, -6.0),
+        # --- Fricatives ---
+        # /s/, /z/, /sh/, /th/ inherently have low sound intensity
+        # (Criterion II failures in the paper's selection).
+        _fricative("s", (4000.0, 7500.0), 1.0, -22.0),
+        _fricative("z", (4000.0, 7500.0), 0.8, -21.0, voiced=True,
+                   formants=(250.0,)),
+        _fricative("sh", (2000.0, 6000.0), 1.0, -20.0),
+        _fricative("zh", (2000.0, 6000.0), 0.8, -14.0, voiced=True,
+                   formants=(250.0,)),
+        _fricative("f", (1500.0, 7000.0), 0.9, -8.0),
+        _fricative("th", (1400.0, 7000.0), 0.8, -23.0),
+        _fricative("v", (1000.0, 6500.0), 0.7, -6.0, voiced=True,
+                   formants=(300.0,)),
+        _fricative("dh", (1200.0, 6000.0), 0.6, -6.0, voiced=True,
+                   formants=(300.0,)),
+        # --- Affricates ---
+        # Affricates start with a stop-like broadband release.
+        Phoneme(
+            symbol="ch", klass=PhonemeClass.AFFRICATE, voiced=False,
+            noise_band=(900.0, 6000.0), noise_gain=1.0,
+            intensity_db=-8.0, duration_range_s=(0.08, 0.14),
+        ),
+        Phoneme(
+            symbol="jh", klass=PhonemeClass.AFFRICATE, voiced=True,
+            formants=(300.0, 1700.0), formant_bandwidths=(110.0, 150.0),
+            formant_gains=(0.8, 0.5), noise_band=(900.0, 6000.0),
+            noise_gain=0.8, intensity_db=-7.0,
+            duration_range_s=(0.08, 0.14),
+        ),
+        # --- Stops ---
+        # Release bursts are broadband transients: energy extends well
+        # below 1 kHz (unlike sustained fricatives), which is what lets
+        # the 0-900 Hz MFCC front end tell /t/ from /s/.
+        _stop("b", (200.0, 2500.0), -6.0, voiced=True),
+        _stop("d", (700.0, 5500.0), -6.0, voiced=True),
+        _stop("g", (500.0, 3500.0), -6.0, voiced=True),
+        _stop("p", (200.0, 3000.0), -7.0, voiced=False),
+        _stop("t", (700.0, 6500.0), -5.0, voiced=False),
+        _stop("k", (500.0, 4000.0), -7.0, voiced=False),
+        _stop("dx", (700.0, 5000.0), -10.0, voiced=True),
+        _stop("q", (200.0, 1500.0), -14.0, voiced=False),
+        # --- Closures and silences ---
+        _silence("bcl", PhonemeClass.CLOSURE),
+        _silence("dcl", PhonemeClass.CLOSURE),
+        _silence("gcl", PhonemeClass.CLOSURE),
+        _silence("pcl", PhonemeClass.CLOSURE),
+        _silence("tcl", PhonemeClass.CLOSURE),
+        _silence("kcl", PhonemeClass.CLOSURE),
+        _silence("pau", PhonemeClass.SILENCE),
+        _silence("epi", PhonemeClass.SILENCE),
+        _silence("h#", PhonemeClass.SILENCE),
+        # Generic inter-word pause symbols used by the utterance builder
+        # (bringing the transcription alphabet to the 63 symbols the paper
+        # counts).  Natural inter-word gaps run 50–180 ms.
+        Phoneme(
+            symbol="sil", klass=PhonemeClass.SILENCE, voiced=False,
+            intensity_db=-80.0, duration_range_s=(0.08, 0.25),
+        ),
+        Phoneme(
+            symbol="sp", klass=PhonemeClass.SILENCE, voiced=False,
+            intensity_db=-80.0, duration_range_s=(0.05, 0.18),
+        ),
+    ]
+    inventory = {phoneme.symbol: phoneme for phoneme in phonemes}
+    if len(inventory) != len(phonemes):
+        raise ConfigurationError("duplicate phoneme symbols in inventory")
+    return inventory
+
+
+#: Full 63-symbol inventory keyed by TIMIT symbol.
+PHONEME_INVENTORY: Dict[str, Phoneme] = _build_inventory()
+
+#: Table II of the paper: the 37 phonemes common in VA voice commands,
+#: with their appearance counts in the command corpus the authors studied.
+COMMON_PHONEMES: Dict[str, int] = {
+    "t": 129, "n": 108, "ah": 107, "s": 101, "r": 100, "ih": 99,
+    "d": 83, "l": 70, "k": 70, "ch": 69, "iy": 65, "m": 65,
+    "er": 58, "z": 49, "w": 40, "ae": 39, "ey": 38, "p": 37,
+    "ay": 36, "aa": 32, "uw": 31, "b": 31, "ao": 29, "f": 29,
+    "v": 28, "hh": 20, "ng": 17, "ow": 17, "aw": 15, "y": 15,
+    "jh": 14, "g": 13, "eh": 13, "dh": 12, "th": 10, "sh": 8,
+    "uh": 6,
+}
+
+#: The 6 common phonemes the paper's selection drops: /s/, /z/, /sh/, /th/
+#: fail Criterion II (too weak to trigger the accelerometer at all) and
+#: /aa/, /ao/ fail Criterion I (loud enough to still trigger it behind a
+#: barrier).  The remaining 31 are the barrier-effect-sensitive set.
+PAPER_EXCLUDED_PHONEMES = frozenset({"s", "z", "sh", "th", "aa", "ao"})
+
+#: The paper's 31 barrier-effect-sensitive phonemes (Table II, bold).
+PAPER_SELECTED_PHONEMES = frozenset(
+    symbol for symbol in COMMON_PHONEMES
+    if symbol not in PAPER_EXCLUDED_PHONEMES
+)
+
+
+def get_phoneme(symbol: str) -> Phoneme:
+    """Look up a phoneme by TIMIT symbol, raising a clear error if unknown."""
+    try:
+        return PHONEME_INVENTORY[symbol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown phoneme symbol {symbol!r}; known symbols: "
+            f"{sorted(PHONEME_INVENTORY)}"
+        ) from None
+
+
+def phoneme_symbols(sounding_only: bool = False) -> Tuple[str, ...]:
+    """All inventory symbols, optionally restricted to sounding phonemes."""
+    if sounding_only:
+        return tuple(
+            symbol for symbol, phoneme in PHONEME_INVENTORY.items()
+            if phoneme.is_sounding
+        )
+    return tuple(PHONEME_INVENTORY)

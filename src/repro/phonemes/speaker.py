@@ -1,0 +1,111 @@
+"""Speaker models for the synthetic corpus.
+
+A speaker is a small bundle of vocal parameters: fundamental frequency,
+vocal-tract length (formant scaling), breathiness, and habitual loudness.
+The evaluation campaign generates pools of such speakers (the paper
+recruited 20 participants; its barrier study used five males and five
+females) with gender-typical parameter distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class SpeakerProfile:
+    """Vocal parameters of one synthetic speaker.
+
+    Attributes
+    ----------
+    speaker_id:
+        Stable identifier, e.g. ``"M03"``.
+    gender:
+        ``"male"`` or ``"female"``; affects default parameter ranges only.
+    f0_hz:
+        Mean fundamental frequency.
+    formant_scale:
+        Multiplier on canonical male formant frequencies (shorter vocal
+        tracts shift formants up; typical female scale ≈ 1.15).
+    jitter:
+        Relative cycle-to-cycle F0 perturbation (0–0.05 typical).
+    breathiness:
+        Fraction of aspiration noise mixed into voiced sounds (0–0.3).
+    loudness_db:
+        Habitual loudness offset in dB relative to the pool average.
+    dialect_region:
+        TIMIT-style dialect region index (1–8); perturbs vowel formants.
+    """
+
+    speaker_id: str
+    gender: str
+    f0_hz: float
+    formant_scale: float
+    jitter: float = 0.01
+    breathiness: float = 0.08
+    loudness_db: float = 0.0
+    dialect_region: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gender not in ("male", "female"):
+            raise ConfigurationError(
+                f"gender must be 'male' or 'female', got {self.gender!r}"
+            )
+        if not 50.0 <= self.f0_hz <= 400.0:
+            raise ConfigurationError(
+                f"f0_hz out of plausible range [50, 400]: {self.f0_hz}"
+            )
+        if not 0.7 <= self.formant_scale <= 1.5:
+            raise ConfigurationError(
+                f"formant_scale out of range [0.7, 1.5]: {self.formant_scale}"
+            )
+        if not 1 <= self.dialect_region <= 8:
+            raise ConfigurationError(
+                f"dialect_region must be in [1, 8]: {self.dialect_region}"
+            )
+
+
+def generate_speakers(
+    n_speakers: int,
+    rng: SeedLike = None,
+    genders: Sequence[str] = ("male", "female"),
+) -> List[SpeakerProfile]:
+    """Generate a pool of speakers with gender-typical parameters.
+
+    Genders alternate through ``genders`` so an even count yields a
+    balanced pool (matching the paper's five-male / five-female barrier
+    study).
+    """
+    if n_speakers <= 0:
+        raise ConfigurationError(
+            f"n_speakers must be > 0, got {n_speakers}"
+        )
+    generator = as_generator(rng)
+    speakers = []
+    for index in range(n_speakers):
+        gender = genders[index % len(genders)]
+        if gender == "male":
+            f0 = float(generator.uniform(95.0, 145.0))
+            scale = float(generator.uniform(0.95, 1.05))
+            prefix = "M"
+        else:
+            f0 = float(generator.uniform(175.0, 245.0))
+            scale = float(generator.uniform(1.10, 1.22))
+            prefix = "F"
+        speakers.append(
+            SpeakerProfile(
+                speaker_id=f"{prefix}{index:02d}",
+                gender=gender,
+                f0_hz=f0,
+                formant_scale=scale,
+                jitter=float(generator.uniform(0.005, 0.02)),
+                breathiness=float(generator.uniform(0.04, 0.15)),
+                loudness_db=float(generator.normal(0.0, 1.5)),
+                dialect_region=int(generator.integers(1, 9)),
+            )
+        )
+    return speakers

@@ -1,0 +1,27 @@
+"""Cross-domain sensing substrate (wearable speaker → accelerometer).
+
+Models the conversion of audio-domain signals into the vibration domain
+through a wearable's built-in speaker and accelerometer, including every
+artifact the paper's detector exploits or must mitigate: conductive
+coupling that suppresses low-frequency audio, aliasing at the 200 Hz
+sensor rate, amplifier noise injection for low-frequency-dominated
+drives, the 0–5 Hz DC-sensitivity artifact, and body-motion interference.
+"""
+
+from repro.sensing.accelerometer import (
+    Accelerometer,
+    AccelerometerSpec,
+    VIBRATION_SAMPLE_RATE,
+)
+from repro.sensing.conduction import ConductionPath
+from repro.sensing.body_motion import body_motion_interference
+from repro.sensing.cross_domain import CrossDomainSensor
+
+__all__ = [
+    "Accelerometer",
+    "AccelerometerSpec",
+    "VIBRATION_SAMPLE_RATE",
+    "ConductionPath",
+    "body_motion_interference",
+    "CrossDomainSensor",
+]

@@ -1,0 +1,83 @@
+"""Named wearable device profiles.
+
+The paper evaluates with two commercial smartwatches — a Fossil Gen 5
+and a Moto 360 (2020) — both sampling their accelerometers at 200 Hz
+but with slightly different speakers and case acoustics.  These
+profiles bundle a speaker spec, conduction path, and accelerometer spec
+into ready-made :class:`~repro.sensing.cross_domain.CrossDomainSensor`
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.acoustics.loudspeaker import LoudspeakerSpec
+from repro.errors import ConfigurationError
+from repro.sensing.accelerometer import AccelerometerSpec
+from repro.sensing.conduction import ConductionPath
+from repro.sensing.cross_domain import CrossDomainSensor
+
+
+@dataclass(frozen=True)
+class WearableProfile:
+    """A named wearable hardware configuration."""
+
+    name: str
+    speaker: LoudspeakerSpec
+    conduction: ConductionPath
+    accelerometer: AccelerometerSpec
+
+    def make_sensor(self) -> CrossDomainSensor:
+        """Instantiate the cross-domain sensor for this wearable."""
+        return CrossDomainSensor(
+            speaker_spec=self.speaker,
+            conduction=self.conduction,
+            accelerometer_spec=self.accelerometer,
+        )
+
+
+#: Fossil Gen 5: the paper's primary device (also used for selection).
+FOSSIL_GEN_5 = WearableProfile(
+    name="Fossil Gen 5",
+    speaker=LoudspeakerSpec(
+        name="fossil speaker", low_cut_hz=400.0, high_cut_hz=8000.0,
+        harmonic_distortion=0.05,
+    ),
+    conduction=ConductionPath(),
+    accelerometer=AccelerometerSpec(),
+)
+
+#: Moto 360 (2020): slightly smaller speaker, stiffer case (resonance a
+#: touch higher), marginally noisier accelerometer front end.
+MOTO_360 = WearableProfile(
+    name="Moto 360",
+    speaker=LoudspeakerSpec(
+        name="moto speaker", low_cut_hz=450.0, high_cut_hz=7500.0,
+        harmonic_distortion=0.06,
+    ),
+    conduction=ConductionPath(
+        low_corner_hz=650.0, resonance_hz=2400.0, high_corner_hz=5200.0,
+        gain=0.18,
+    ),
+    accelerometer=AccelerometerSpec(
+        base_noise_rms=2.5e-4, low_freq_noise_coeff=0.055
+    ),
+)
+
+#: Registry keyed by short name.
+WEARABLES: Dict[str, WearableProfile] = {
+    "fossil_gen_5": FOSSIL_GEN_5,
+    "moto_360": MOTO_360,
+}
+
+
+def get_wearable(name: str) -> WearableProfile:
+    """Look up a wearable profile by registry key."""
+    try:
+        return WEARABLES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown wearable {name!r}; known: {sorted(WEARABLES)}"
+        ) from None

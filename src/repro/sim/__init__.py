@@ -1,0 +1,31 @@
+"""Distributed-device substrate: virtual time, LAN, protocol nodes.
+
+The defense spans two devices coordinated over a local WiFi network.
+This package provides a small discrete-event simulator — a virtual
+clock, an event scheduler, a latency-modelled message network — and the
+VA/wearable node implementations that run the paper's cross-device
+synchronization protocol on top of it.
+"""
+
+from repro.sim.events import EventScheduler, SimClock
+from repro.sim.network import Network, NetworkConfig, Message
+from repro.sim.devices import VANode, WearableNode, CloudRelay
+from repro.sim.protocol import (
+    RecordingSession,
+    TriggerMessage,
+    run_synchronized_recording,
+)
+
+__all__ = [
+    "EventScheduler",
+    "SimClock",
+    "Network",
+    "NetworkConfig",
+    "Message",
+    "VANode",
+    "WearableNode",
+    "CloudRelay",
+    "RecordingSession",
+    "TriggerMessage",
+    "run_synchronized_recording",
+]

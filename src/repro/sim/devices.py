@@ -1,0 +1,317 @@
+"""Protocol nodes: VA device, wearable, and the cloud relay.
+
+Each node owns a mailbox on the simulated network and implements its
+side of the cross-device recording protocol: the VA detects the wake
+word and notifies the wearable (via the cloud relay) to start recording;
+both then capture the command, and the wearable aggregates the two
+recordings for cross-domain sensing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.sim.events import EventScheduler
+from repro.sim.network import Message, Network
+
+
+@dataclass
+class RecordingWindow:
+    """One device's recording interval and captured samples."""
+
+    started_at_s: float
+    samples: Optional[np.ndarray] = None
+    stopped_at_s: Optional[float] = None
+
+
+class _Node:
+    """Base class wiring a node into the network."""
+
+    def __init__(
+        self, name: str, network: Network, scheduler: EventScheduler
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.scheduler = scheduler
+        network.register(name, self.on_message)
+        self.log: List[str] = []
+
+    def on_message(self, message: Message) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _trace(self, text: str) -> None:
+        self.log.append(f"[{self.scheduler.clock.now:8.3f}s] {text}")
+
+
+class CloudRelay(_Node):
+    """The cloud service relaying trigger messages between devices.
+
+    Real VA ecosystems route device-to-device notifications through a
+    cloud service; the relay adds one more network hop of latency.
+    """
+
+    def __init__(
+        self, network: Network, scheduler: EventScheduler,
+        name: str = "cloud",
+    ) -> None:
+        super().__init__(name, network, scheduler)
+
+    def on_message(self, message: Message) -> None:
+        """Forward any payload with a ``forward_to`` attribute."""
+        payload = message.payload
+        target = getattr(payload, "forward_to", None)
+        if target is None:
+            raise ProtocolError(
+                f"cloud relay got unroutable payload {payload!r}"
+            )
+        self._trace(
+            f"relay {type(payload).__name__} from {message.sender} "
+            f"to {target}"
+        )
+        self.network.send(self.name, target, payload)
+
+
+class VANode(_Node):
+    """The voice-assistant device's protocol logic."""
+
+    #: Seconds to wait for the wearable's acknowledgement before
+    #: retransmitting the trigger.
+    ACK_TIMEOUT_S = 0.4
+
+    def __init__(
+        self,
+        network: Network,
+        scheduler: EventScheduler,
+        name: str = "va",
+        wearable_name: str = "wearable",
+        cloud_name: str = "cloud",
+        recording_duration_s: float = 3.0,
+        max_trigger_retries: int = 3,
+    ) -> None:
+        super().__init__(name, network, scheduler)
+        self.wearable_name = wearable_name
+        self.cloud_name = cloud_name
+        self.recording_duration_s = recording_duration_s
+        self.max_trigger_retries = max_trigger_retries
+        self.recording: Optional[RecordingWindow] = None
+        self.trigger_acked = False
+        self.trigger_attempts = 0
+        self.recording_acked = False
+        self.recording_attempts = 0
+        self._capture: Optional[Callable[[float, float], np.ndarray]] = None
+        self._wake_time_s: Optional[float] = None
+
+    def set_capture(
+        self, capture: Callable[[float, float], np.ndarray]
+    ) -> None:
+        """Install the acoustic capture callback ``(start, stop) -> samples``."""
+        self._capture = capture
+
+    def wake_word_detected(self) -> None:
+        """Wake word fired: start recording and notify the wearable."""
+        now = self.scheduler.clock.now
+        self._trace("wake word detected; recording + triggering wearable")
+        self.recording = RecordingWindow(started_at_s=now)
+        self._wake_time_s = now
+        self._send_trigger()
+        self.scheduler.schedule_in(
+            self.recording_duration_s, self._stop_recording
+        )
+
+    def _send_trigger(self) -> None:
+        """(Re)transmit the trigger until the wearable acknowledges."""
+        from repro.sim.protocol import TriggerMessage
+
+        if self.trigger_acked:
+            return
+        if self.trigger_attempts > self.max_trigger_retries:
+            self._trace(
+                "trigger retries exhausted; wearable unreachable"
+            )
+            return
+        self.trigger_attempts += 1
+        if self.trigger_attempts > 1:
+            self._trace(
+                f"retransmitting trigger (attempt "
+                f"{self.trigger_attempts})"
+            )
+        self.network.send(
+            self.name,
+            self.cloud_name,
+            TriggerMessage(
+                forward_to=self.wearable_name,
+                triggered_at_s=self._wake_time_s,
+            ),
+        )
+        self.scheduler.schedule_in(self.ACK_TIMEOUT_S, self._send_trigger)
+
+    def _stop_recording(self) -> None:
+        if self.recording is None:
+            raise ProtocolError("stop without an active recording")
+        now = self.scheduler.clock.now
+        self.recording.stopped_at_s = now
+        if self._capture is not None:
+            self.recording.samples = self._capture(
+                self.recording.started_at_s, now
+            )
+        self._trace("recording stopped; sending to wearable")
+        self._send_recording()
+
+    def _send_recording(self) -> None:
+        """(Re)transmit the recording until the wearable acknowledges."""
+        from repro.sim.protocol import RecordingMessage
+
+        if self.recording_acked:
+            return
+        if self.recording_attempts > self.max_trigger_retries:
+            self._trace("recording retries exhausted")
+            return
+        self.recording_attempts += 1
+        if self.recording_attempts > 1:
+            self._trace(
+                f"retransmitting recording (attempt "
+                f"{self.recording_attempts})"
+            )
+        self.network.send(
+            self.name,
+            self.cloud_name,
+            RecordingMessage(
+                forward_to=self.wearable_name,
+                samples=self.recording.samples,
+                started_at_s=self.recording.started_at_s,
+            ),
+        )
+        self.scheduler.schedule_in(
+            self.ACK_TIMEOUT_S, self._send_recording
+        )
+
+    def on_message(self, message: Message) -> None:
+        from repro.sim.protocol import AckMessage
+
+        payload = message.payload
+        if isinstance(payload, AckMessage):
+            if payload.kind == "trigger":
+                if not self.trigger_acked:
+                    self._trace("trigger acknowledged by wearable")
+                self.trigger_acked = True
+            elif payload.kind == "recording":
+                if not self.recording_acked:
+                    self._trace("recording acknowledged by wearable")
+                self.recording_acked = True
+            else:
+                raise ProtocolError(
+                    f"unknown ack kind {payload.kind!r}"
+                )
+            return
+        raise ProtocolError(
+            f"VA node received unexpected message {payload!r}"
+        )
+
+
+class WearableNode(_Node):
+    """The wearable's protocol logic: record on trigger, aggregate."""
+
+    def __init__(
+        self,
+        network: Network,
+        scheduler: EventScheduler,
+        name: str = "wearable",
+        va_name: str = "va",
+        cloud_name: str = "cloud",
+        recording_duration_s: float = 3.0,
+    ) -> None:
+        super().__init__(name, network, scheduler)
+        self.va_name = va_name
+        self.cloud_name = cloud_name
+        self.recording_duration_s = recording_duration_s
+        self.recording: Optional[RecordingWindow] = None
+        self.va_recording: Optional[np.ndarray] = None
+        self.va_recording_started_s: Optional[float] = None
+        self._capture: Optional[Callable[[float, float], np.ndarray]] = None
+        self.on_complete: Optional[
+            Callable[["WearableNode"], None]
+        ] = None
+
+    def set_capture(
+        self, capture: Callable[[float, float], np.ndarray]
+    ) -> None:
+        """Install the acoustic capture callback ``(start, stop) -> samples``."""
+        self._capture = capture
+
+    @property
+    def has_both_recordings(self) -> bool:
+        """Whether aggregation finished (both recordings present)."""
+        return (
+            self.recording is not None
+            and self.recording.samples is not None
+            and self.va_recording is not None
+        )
+
+    def on_message(self, message: Message) -> None:
+        from repro.sim.protocol import (
+            AckMessage,
+            RecordingMessage,
+            TriggerMessage,
+        )
+
+        payload = message.payload
+        if isinstance(payload, TriggerMessage):
+            # Acknowledge every trigger (the ack itself can be lost);
+            # duplicate triggers from retransmission are idempotent.
+            self.network.send(
+                self.name,
+                self.cloud_name,
+                AckMessage(forward_to=self.va_name),
+            )
+            if self.recording is not None:
+                self._trace("duplicate trigger ignored (already recording)")
+                return
+            self._trace(
+                "trigger received "
+                f"({self.scheduler.clock.now - payload.triggered_at_s:.3f}s "
+                "after wake word); recording"
+            )
+            self.recording = RecordingWindow(
+                started_at_s=self.scheduler.clock.now
+            )
+            self.scheduler.schedule_in(
+                self.recording_duration_s, self._stop_recording
+            )
+        elif isinstance(payload, RecordingMessage):
+            self.network.send(
+                self.name,
+                self.cloud_name,
+                AckMessage(forward_to=self.va_name, kind="recording"),
+            )
+            if self.va_recording is not None:
+                self._trace("duplicate VA recording ignored")
+                return
+            self._trace("VA recording received; aggregating")
+            self.va_recording = payload.samples
+            self.va_recording_started_s = payload.started_at_s
+            self._maybe_complete()
+        else:
+            raise ProtocolError(
+                f"wearable received unexpected payload {payload!r}"
+            )
+
+    def _stop_recording(self) -> None:
+        if self.recording is None:
+            raise ProtocolError("stop without an active recording")
+        now = self.scheduler.clock.now
+        self.recording.stopped_at_s = now
+        if self._capture is not None:
+            self.recording.samples = self._capture(
+                self.recording.started_at_s, now
+            )
+        self._trace("wearable recording stopped")
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.has_both_recordings and self.on_complete is not None:
+            self._trace("both recordings available; running detection")
+            self.on_complete(self)

@@ -1,0 +1,94 @@
+"""Virtual clock and discrete-event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ProtocolError
+
+
+class SimClock:
+    """Monotonic virtual clock (seconds)."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now = float(start_s)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, time_s: float) -> None:
+        """Move the clock forward; moving backwards is a protocol error."""
+        if time_s < self._now - 1e-12:
+            raise ProtocolError(
+                f"clock cannot move backwards: {self._now} -> {time_s}"
+            )
+        self._now = float(time_s)
+
+
+class EventScheduler:
+    """Priority-queue discrete-event loop driving a :class:`SimClock`.
+
+    Events scheduled for the same instant fire in scheduling order
+    (stable tie-breaking by sequence number), which keeps protocol
+    traces deterministic.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock or SimClock()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    def schedule_at(
+        self, time_s: float, action: Callable[[], None]
+    ) -> None:
+        """Schedule ``action`` to fire at absolute virtual time ``time_s``."""
+        if time_s < self.clock.now - 1e-12:
+            raise ConfigurationError(
+                f"cannot schedule in the past: now={self.clock.now}, "
+                f"requested={time_s}"
+            )
+        heapq.heappush(
+            self._queue, (float(time_s), next(self._sequence), action)
+        )
+
+    def schedule_in(
+        self, delay_s: float, action: Callable[[], None]
+    ) -> None:
+        """Schedule ``action`` after a relative delay."""
+        if delay_s < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay_s}")
+        self.schedule_at(self.clock.now + delay_s, action)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unfired events."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def run(self, until_s: Optional[float] = None) -> int:
+        """Fire events in time order, optionally stopping at ``until_s``.
+
+        Returns the number of events processed by this call.
+        """
+        fired = 0
+        while self._queue:
+            time_s, _, action = self._queue[0]
+            if until_s is not None and time_s > until_s:
+                break
+            heapq.heappop(self._queue)
+            self.clock.advance_to(time_s)
+            action()
+            fired += 1
+            self._processed += 1
+        if until_s is not None and self.clock.now < until_s:
+            self.clock.advance_to(until_s)
+        return fired

@@ -1,0 +1,109 @@
+"""Local-network message passing with latency and jitter.
+
+Models the WiFi LAN connecting the VA device, the wearable, and the
+cloud relay.  Message delivery delay is the paper's ~100 ms trigger
+latency; drops are supported for fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.events import EventScheduler
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    sender: str
+    recipient: str
+    payload: object
+    sent_at_s: float
+
+
+@dataclass
+class NetworkConfig:
+    """Latency/loss model of the LAN.
+
+    Attributes
+    ----------
+    mean_delay_s:
+        Average one-way delivery delay (paper: ~100 ms for the
+        wake-word trigger path through the cloud service).
+    jitter_s:
+        Standard deviation of the delay.
+    min_delay_s:
+        Hard floor on delivery delay.
+    drop_probability:
+        Probability a message is silently lost (fault injection).
+    """
+
+    mean_delay_s: float = 0.1
+    jitter_s: float = 0.03
+    min_delay_s: float = 0.005
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_delay_s < 0 or self.jitter_s < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigurationError(
+                "drop_probability must be in [0, 1]"
+            )
+
+
+class Network:
+    """Delivers messages between registered nodes via the scheduler."""
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        config: Optional[NetworkConfig] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.config = config or NetworkConfig()
+        self._rng = as_generator(rng)
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(
+        self, name: str, handler: Callable[[Message], None]
+    ) -> None:
+        """Register a node's message handler under ``name``."""
+        if name in self._handlers:
+            raise ConfigurationError(f"node {name!r} already registered")
+        self._handlers[name] = handler
+
+    def send(self, sender: str, recipient: str, payload: object) -> None:
+        """Send a message; it arrives after a sampled network delay."""
+        if recipient not in self._handlers:
+            raise ProtocolError(f"unknown recipient {recipient!r}")
+        if self._rng.random() < self.config.drop_probability:
+            self.dropped += 1
+            return
+        delay = max(
+            float(
+                self._rng.normal(
+                    self.config.mean_delay_s, self.config.jitter_s
+                )
+            ),
+            self.config.min_delay_s,
+        )
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            payload=payload,
+            sent_at_s=self.scheduler.clock.now,
+        )
+
+        def deliver() -> None:
+            self.delivered += 1
+            self._handlers[recipient](message)
+
+        self.scheduler.schedule_in(delay, deliver)

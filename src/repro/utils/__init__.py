@@ -1,0 +1,25 @@
+"""Shared utilities: deterministic RNG plumbing and small helpers."""
+
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    as_generator,
+    child_rng,
+    spawn_rngs,
+)
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "as_generator",
+    "child_rng",
+    "spawn_rngs",
+    "ensure_1d",
+    "ensure_2d",
+    "ensure_positive",
+    "ensure_probability",
+]

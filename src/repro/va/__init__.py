@@ -1,0 +1,37 @@
+"""Voice-assistant device substrate.
+
+Models the four commercial VA devices of the paper's attack study
+(Table I): microphone sensitivity, wake-word detection, and the embedded
+speaker-verification gate that Siri devices apply to "Hey Siri".
+"""
+
+from repro.va.device import (
+    ALEXA_ECHO,
+    GOOGLE_HOME,
+    IPHONE,
+    MACBOOK_PRO,
+    VA_DEVICES,
+    VoiceAssistantDevice,
+    VoiceAssistantSpec,
+)
+from repro.va.wakeword import WakeWordDetector, WakeWordResult
+from repro.va.verification import (
+    SpeakerVerifier,
+    VerificationResult,
+    VerifierConfig,
+)
+
+__all__ = [
+    "SpeakerVerifier",
+    "VerificationResult",
+    "VerifierConfig",
+    "GOOGLE_HOME",
+    "ALEXA_ECHO",
+    "MACBOOK_PRO",
+    "IPHONE",
+    "VA_DEVICES",
+    "VoiceAssistantDevice",
+    "VoiceAssistantSpec",
+    "WakeWordDetector",
+    "WakeWordResult",
+]

@@ -1,0 +1,128 @@
+"""VA device profiles and the thru-barrier trigger experiment (Table I).
+
+Each device couples a microphone model with a wake-word detector tuned to
+its class: far-field smart speakers are the most sensitive, laptops in
+between, phones the least.  Siri devices additionally run an embedded
+speaker-verification gate, which rejects voices that do not match the
+enrolled user — the reason Table I has no random/synthesis entries for
+the MacBook and iPhone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.acoustics.microphone import (
+    LAPTOP_MIC,
+    Microphone,
+    MicrophoneSpec,
+    PHONE_MIC,
+    SMART_SPEAKER_MIC,
+)
+from repro.va.wakeword import WakeWordDetector, WakeWordResult
+from repro.utils.rng import SeedLike, as_generator, child_rng
+
+
+@dataclass(frozen=True)
+class VoiceAssistantSpec:
+    """Static description of a VA device.
+
+    Attributes
+    ----------
+    name:
+        Commercial device name.
+    wake_word:
+        The phrase that activates it.
+    mic:
+        Microphone model.
+    threshold_snr_db:
+        Wake-word sensitivity (lower = easier to trigger).
+    has_voice_recognition:
+        Whether an embedded speaker-verification gate rejects
+        non-enrolled voices (Siri devices).
+    """
+
+    name: str
+    wake_word: str
+    mic: MicrophoneSpec
+    threshold_snr_db: float
+    has_voice_recognition: bool = False
+
+
+GOOGLE_HOME = VoiceAssistantSpec(
+    name="Google Home",
+    wake_word="ok google",
+    mic=SMART_SPEAKER_MIC,
+    threshold_snr_db=3.0,
+)
+
+ALEXA_ECHO = VoiceAssistantSpec(
+    name="Alexa Echo",
+    wake_word="alexa",
+    mic=SMART_SPEAKER_MIC,
+    threshold_snr_db=5.0,
+)
+
+MACBOOK_PRO = VoiceAssistantSpec(
+    name="MacBook Pro",
+    wake_word="hey siri",
+    mic=LAPTOP_MIC,
+    threshold_snr_db=10.0,
+    has_voice_recognition=True,
+)
+
+IPHONE = VoiceAssistantSpec(
+    name="iPhone",
+    wake_word="hey siri",
+    mic=PHONE_MIC,
+    threshold_snr_db=14.5,
+    has_voice_recognition=True,
+)
+
+#: Registry of the paper's four study devices.
+VA_DEVICES: Dict[str, VoiceAssistantSpec] = {
+    spec.name: spec
+    for spec in (GOOGLE_HOME, ALEXA_ECHO, MACBOOK_PRO, IPHONE)
+}
+
+
+class VoiceAssistantDevice:
+    """A VA device that can be probed with (attack) sound fields."""
+
+    def __init__(self, spec: VoiceAssistantSpec) -> None:
+        self.spec = spec
+        self.microphone = Microphone(spec.mic)
+        self.wakeword = WakeWordDetector(
+            threshold_snr_db=spec.threshold_snr_db
+        )
+
+    def try_trigger(
+        self,
+        sound_field: np.ndarray,
+        sample_rate: float,
+        voice_matches_user: bool = True,
+        rng: SeedLike = None,
+    ) -> WakeWordResult:
+        """One activation attempt with the sound arriving at the device.
+
+        ``voice_matches_user`` models the speaker-verification gate:
+        on Siri devices a non-matching voice never activates the
+        assistant regardless of level (Table I's missing entries).
+        """
+        generator = as_generator(rng)
+        recording = self.microphone.capture(
+            sound_field, sample_rate, rng=child_rng(generator, "mic")
+        )
+        result = self.wakeword.evaluate(
+            recording, sample_rate, rng=child_rng(generator, "wake")
+        )
+        if self.spec.has_voice_recognition and not voice_matches_user:
+            return WakeWordResult(
+                triggered=False,
+                probability=0.0,
+                snr_db=result.snr_db,
+            )
+        return result

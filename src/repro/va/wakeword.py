@@ -1,0 +1,86 @@
+"""Wake-word detection model.
+
+A commercial wake-word engine fires when the wake phrase is audible above
+the device's detection threshold with enough spectral evidence.  The
+model scores a recording by (a) speech-band SNR against the device noise
+floor and (b) how much of the phrase's characteristic band survives; a
+logistic function converts the score to a trigger probability, which
+captures the paper's observation that attacks succeed stochastically
+(e.g., 4/10 at 65 dB, 10/10 at 75 dB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acoustics.spl import REFERENCE_RMS_AT_65_DB, gain_to_db
+from repro.dsp.spectrum import band_energy
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_1d, ensure_positive
+
+
+@dataclass(frozen=True)
+class WakeWordResult:
+    """Outcome of one wake-word evaluation."""
+
+    triggered: bool
+    probability: float
+    snr_db: float
+
+
+class WakeWordDetector:
+    """SNR-based stochastic wake-word engine.
+
+    Parameters
+    ----------
+    threshold_snr_db:
+        Speech-band SNR at which the trigger probability is 50 %.
+    steepness:
+        Logistic steepness (probability per dB around the threshold).
+    speech_band:
+        Band whose energy counts as wake-word evidence; wake phrases
+        survive barriers mainly in the low band, so the default band
+        starts low.
+    """
+
+    def __init__(
+        self,
+        threshold_snr_db: float = 6.0,
+        steepness: float = 0.55,
+        speech_band: tuple = (85.0, 4000.0),
+        noise_floor_db: float = 40.0,
+    ) -> None:
+        ensure_positive(steepness, "steepness")
+        self.threshold_snr_db = float(threshold_snr_db)
+        self.steepness = float(steepness)
+        self.speech_band = speech_band
+        self.noise_floor_db = float(noise_floor_db)
+
+    def evaluate(
+        self,
+        recording: np.ndarray,
+        sample_rate: float,
+        rng: SeedLike = None,
+    ) -> WakeWordResult:
+        """Score a recording and stochastically decide a trigger."""
+        samples = ensure_1d(recording, "recording")
+        generator = as_generator(rng)
+        low_hz, high_hz = self.speech_band
+        energy = band_energy(samples, sample_rate, low_hz, high_hz)
+        level_rms = float(np.sqrt(max(energy, 1e-30)))
+        level_db = 65.0 + gain_to_db(
+            max(level_rms, 1e-12) / REFERENCE_RMS_AT_65_DB
+        )
+        snr_db = level_db - self.noise_floor_db
+        probability = 1.0 / (
+            1.0
+            + np.exp(-self.steepness * (snr_db - self.threshold_snr_db))
+        )
+        triggered = bool(generator.random() < probability)
+        return WakeWordResult(
+            triggered=triggered,
+            probability=float(probability),
+            snr_db=float(snr_db),
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustics.room import RoomConfig
+from repro.acoustics.materials import GLASS_WINDOW
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.phonemes.speaker import SpeakerProfile, generate_speakers
+from repro.phonemes.synthesis import PhonemeSynthesizer
+
+#: Audio sampling rate used across tests.
+AUDIO_RATE = 16_000.0
+
+
+@pytest.fixture(scope="session")
+def speakers():
+    """A small, deterministic speaker pool."""
+    return generate_speakers(4, rng=101)
+
+
+@pytest.fixture(scope="session")
+def male_speaker(speakers):
+    """One male speaker."""
+    return next(s for s in speakers if s.gender == "male")
+
+
+@pytest.fixture(scope="session")
+def female_speaker(speakers):
+    """One female speaker."""
+    return next(s for s in speakers if s.gender == "female")
+
+
+@pytest.fixture(scope="session")
+def synthesizer():
+    """Shared phoneme synthesizer."""
+    return PhonemeSynthesizer()
+
+
+@pytest.fixture(scope="session")
+def corpus(speakers):
+    """A small synthetic corpus."""
+    return SyntheticCorpus(speakers=speakers, seed=202)
+
+
+@pytest.fixture(scope="session")
+def room_config():
+    """A default glass-window room."""
+    return RoomConfig(
+        name="Test Room", width_m=6.0, length_m=5.0, barrier=GLASS_WINDOW
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(31337)

@@ -1,0 +1,132 @@
+"""End-to-end integration: corpus → scenario → pipeline → verdicts."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackKind
+from repro.attacks.hidden_voice import HiddenVoiceAttack
+from repro.attacks.random_attack import RandomAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario
+from repro.attacks.synthesis import VoiceSynthesisAttack
+from repro.core.pipeline import DefensePipeline
+from repro.core.segmentation import PhonemeSegmenter
+from repro.eval.metrics import evaluate_scores
+from repro.eval.rooms import ROOM_A
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+
+
+@pytest.fixture(scope="module")
+def world():
+    corpus = SyntheticCorpus(n_speakers=4, seed=55)
+    scenario = AttackScenario(room_config=ROOM_A)
+    pipeline = DefensePipeline(segmenter=PhonemeSegmenter(rng=1))
+    return corpus, scenario, pipeline
+
+
+def _legit_scores(world, n=5):
+    corpus, scenario, pipeline = world
+    victim = corpus.speakers[0]
+    scores = []
+    for i in range(n):
+        command = VA_COMMANDS[i % len(VA_COMMANDS)]
+        utterance = corpus.utterance(
+            phonemize(command), speaker=victim, rng=100 + i
+        )
+        va, wearable = scenario.legitimate_recordings(
+            utterance, spl_db=65.0 + 5.0 * (i % 3), rng=200 + i
+        )
+        scores.append(
+            pipeline.score(
+                va, wearable, rng=300 + i, oracle_utterance=utterance
+            )
+        )
+    return scores
+
+
+def _attack_scores(world, generator, n=5):
+    corpus, scenario, pipeline = world
+    scores = []
+    for i in range(n):
+        attack = generator.generate(rng=400 + i)
+        va, wearable = scenario.attack_recordings(
+            attack, spl_db=75.0, rng=500 + i
+        )
+        scores.append(
+            pipeline.score(
+                va, wearable, rng=600 + i,
+                oracle_utterance=attack.utterance,
+            )
+        )
+    return scores
+
+
+@pytest.mark.slow
+class TestEndToEndSeparation:
+    def test_replay_attack_detected(self, world):
+        corpus, _, _ = world
+        legit = _legit_scores(world)
+        attacks = _attack_scores(
+            world, ReplayAttack(corpus, corpus.speakers[0])
+        )
+        metrics = evaluate_scores(legit, attacks)
+        assert metrics.auc >= 0.9
+
+    def test_random_attack_detected(self, world):
+        corpus, _, _ = world
+        legit = _legit_scores(world)
+        attacks = _attack_scores(
+            world, RandomAttack(corpus, corpus.speakers[1])
+        )
+        assert evaluate_scores(legit, attacks).auc >= 0.9
+
+    def test_synthesis_attack_detected(self, world):
+        corpus, _, _ = world
+        legit = _legit_scores(world)
+        attacks = _attack_scores(
+            world,
+            VoiceSynthesisAttack(corpus, corpus.speakers[0], rng=7),
+        )
+        assert evaluate_scores(legit, attacks).auc >= 0.9
+
+    def test_hidden_voice_attack_detected(self, world):
+        corpus, _, _ = world
+        legit = _legit_scores(world)
+        attacks = _attack_scores(world, HiddenVoiceAttack(corpus))
+        assert evaluate_scores(legit, attacks).auc >= 0.9
+
+
+@pytest.mark.slow
+def test_brick_wall_defeats_the_attack_itself(world):
+    """Sanity: thru-brick sound is too weak to trigger anything."""
+    import dataclasses
+
+    from repro.acoustics.materials import BRICK_WALL
+    from repro.va.device import GOOGLE_HOME, VoiceAssistantDevice
+
+    from repro.acoustics.propagation import propagate
+
+    corpus, _, _ = world
+    replay = ReplayAttack(corpus, corpus.speakers[0])
+    device = VoiceAssistantDevice(GOOGLE_HOME)
+
+    def trigger_count(room):
+        scenario = AttackScenario(room_config=room)
+        triggers = 0
+        for i in range(6):
+            attack = replay.generate(rng=700 + i)
+            interior = scenario.channel.transmit(
+                attack.waveform, attack.sample_rate, 75.0, rng=800 + i
+            )
+            at_va = propagate(interior, attack.sample_rate, 2.0)
+            triggers += device.try_trigger(
+                at_va, attack.sample_rate, rng=900 + i
+            ).triggered
+        return triggers
+
+    brick_room = dataclasses.replace(ROOM_A, barrier=BRICK_WALL)
+    glass = trigger_count(ROOM_A)
+    brick = trigger_count(brick_room)
+    assert glass >= 4       # thru-glass attacks largely succeed...
+    assert brick <= glass - 3  # ...while brick mostly defeats them.

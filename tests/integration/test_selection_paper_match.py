@@ -1,0 +1,28 @@
+"""Integration: the selection pipeline reproduces the paper's 31/37 set."""
+
+import pytest
+
+from repro.core.phoneme_selection import (
+    PhonemeSelectionConfig,
+    PhonemeSelector,
+)
+from repro.phonemes.inventory import (
+    PAPER_EXCLUDED_PHONEMES,
+    PAPER_SELECTED_PHONEMES,
+)
+
+
+@pytest.mark.slow
+def test_selection_matches_paper_exactly():
+    selector = PhonemeSelector(
+        config=PhonemeSelectionConfig(n_segments=20), seed=42
+    )
+    result = selector.run()
+    assert set(result.selected) == set(PAPER_SELECTED_PHONEMES)
+    assert set(result.rejected) == set(PAPER_EXCLUDED_PHONEMES)
+    # Failure modes split as the paper describes.
+    for weak in ("s", "z", "sh", "th"):
+        assert weak in result.satisfies_criterion_1
+        assert weak not in result.satisfies_criterion_2
+    for loud in ("aa", "ao"):
+        assert loud not in result.satisfies_criterion_1

@@ -1,0 +1,51 @@
+"""Property-based tests on corpus/utterance invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phonemes.corpus import SyntheticCorpus
+from repro.phonemes.inventory import phoneme_symbols
+
+_CORPUS = SyntheticCorpus(n_speakers=3, seed=77)
+_SOUNDING = list(phoneme_symbols(sounding_only=True))
+
+sequences = st.lists(
+    st.sampled_from(_SOUNDING), min_size=1, max_size=8
+)
+
+
+@given(sequences, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_alignment_is_sorted_and_positive(sequence, seed):
+    utterance = _CORPUS.utterance(sequence, rng=seed)
+    previous_end = 0.0
+    for interval in utterance.alignment:
+        assert interval.start_s >= previous_end - 1e-9
+        assert interval.duration_s > 0
+        previous_end = interval.end_s
+
+
+@given(sequences, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_alignment_spans_whole_waveform(sequence, seed):
+    utterance = _CORPUS.utterance(sequence, rng=seed)
+    assert utterance.alignment[0].start_s == 0.0
+    assert abs(
+        utterance.alignment[-1].end_s - utterance.duration_s
+    ) < 1e-6
+
+
+@given(sequences, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_alignment_symbol_order_preserved(sequence, seed):
+    utterance = _CORPUS.utterance(sequence, rng=seed)
+    assert [i.symbol for i in utterance.alignment] == list(sequence)
+
+
+@given(sequences, st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_waveform_finite_and_bounded(sequence, seed):
+    utterance = _CORPUS.utterance(sequence, rng=seed)
+    assert np.all(np.isfinite(utterance.waveform))
+    assert np.max(np.abs(utterance.waveform)) < 10.0

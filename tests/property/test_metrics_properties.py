@@ -1,0 +1,71 @@
+"""Property-based tests on detection-metric invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval.metrics import (
+    auc_from_scores,
+    eer_from_scores,
+    roc_curve,
+)
+
+scores = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=40),
+    elements=st.floats(min_value=-1.0, max_value=1.0,
+                       allow_nan=False),
+)
+
+
+@given(scores, scores)
+@settings(max_examples=60, deadline=None)
+def test_auc_in_unit_interval(legit, attack):
+    value = auc_from_scores(legit, attack)
+    assert 0.0 <= value <= 1.0
+
+
+@given(scores, scores)
+@settings(max_examples=60, deadline=None)
+def test_auc_antisymmetric_under_swap(legit, attack):
+    forward = auc_from_scores(legit, attack)
+    backward = auc_from_scores(attack, legit)
+    assert forward + backward == 1.0 or abs(
+        forward + backward - 1.0
+    ) < 1e-9
+
+
+@given(scores, scores)
+@settings(max_examples=60, deadline=None)
+def test_eer_bounded(legit, attack):
+    eer, threshold = eer_from_scores(legit, attack)
+    assert 0.0 <= eer <= 1.0
+    assert np.isfinite(threshold)
+
+
+@given(scores, scores, st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=40, deadline=None)
+def test_auc_invariant_to_monotone_scaling(legit, attack, scale):
+    base = auc_from_scores(legit, attack)
+    scaled = auc_from_scores(legit * scale, attack * scale)
+    assert base == scaled
+
+
+@given(scores, scores)
+@settings(max_examples=40, deadline=None)
+def test_roc_is_monotone(legit, attack):
+    _, fdr, tdr = roc_curve(legit, attack)
+    assert np.all(np.diff(fdr) >= 0)
+    assert np.all(np.diff(tdr) >= 0)
+    assert fdr[-1] == 1.0 and tdr[-1] == 1.0
+
+
+@given(scores)
+@settings(max_examples=40, deadline=None)
+def test_perfect_shifted_separation_gives_auc_one(values):
+    legit = values + 10.0
+    attack = values - 10.0
+    assert auc_from_scores(legit, attack) == 1.0
+    eer, _ = eer_from_scores(legit, attack)
+    assert eer == 0.0

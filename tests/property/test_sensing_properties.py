@@ -1,0 +1,73 @@
+"""Property-based tests on the cross-domain sensing chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.spl import db_to_gain
+from repro.dsp.generators import tone, white_noise
+from repro.sensing.accelerometer import Accelerometer, AccelerometerSpec
+from repro.sensing.conduction import ConductionPath
+from repro.sensing.cross_domain import CrossDomainSensor
+
+AUDIO_RATE = 16_000.0
+
+_SENSOR = CrossDomainSensor()
+_QUIET_PATH = ConductionPath(response_jitter_db=0.0)
+
+
+@given(
+    st.floats(min_value=50.0, max_value=7800.0),
+    st.floats(min_value=0.01, max_value=0.5),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=40, deadline=None)
+def test_conversion_finite_for_any_tone(frequency, amplitude, seed):
+    audio = tone(frequency, 0.5, AUDIO_RATE, amplitude=amplitude)
+    vibration = _SENSOR.convert(audio, AUDIO_RATE, rng=seed)
+    assert np.all(np.isfinite(vibration))
+    assert vibration.size == 100
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_conversion_length_invariant(seed):
+    rng = np.random.default_rng(seed)
+    n_seconds = float(rng.uniform(0.3, 3.0))
+    audio = white_noise(n_seconds, AUDIO_RATE, amplitude=0.05,
+                        rng=seed)
+    vibration = _SENSOR.convert(audio, AUDIO_RATE, rng=seed)
+    # Strided decimation keeps ceil(n / 80) samples.
+    assert vibration.size == (audio.size + 79) // 80
+
+
+@given(st.floats(min_value=10.0, max_value=7900.0))
+@settings(max_examples=60, deadline=None)
+def test_conduction_response_positive(frequency):
+    response = _QUIET_PATH.response(np.array([frequency]))[0]
+    assert response > 0.0
+    assert np.isfinite(response)
+
+
+@given(
+    st.floats(min_value=-20.0, max_value=20.0),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=30, deadline=None)
+def test_noise_injection_monotone_in_level(gain_db, seed):
+    """More low-frequency drive never yields *less* injected noise."""
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, dc_sensitivity=0.0, lsb=0.0
+    )
+    accel = Accelerometer(spec)
+    field = np.zeros(16_000)
+    quiet_drive = 0.02 * tone(200.0, 1.0, AUDIO_RATE)
+    loud_drive = quiet_drive * db_to_gain(abs(gain_db))
+    quiet_noise = np.std(
+        accel.sense(field, AUDIO_RATE, quiet_drive, rng=seed)
+    )
+    loud_noise = np.std(
+        accel.sense(field, AUDIO_RATE, loud_drive, rng=seed)
+    )
+    assert loud_noise >= quiet_noise * 0.99

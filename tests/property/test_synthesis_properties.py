@@ -1,0 +1,62 @@
+"""Property-based tests on synthesis and acoustics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acoustics.materials import GLASS_WINDOW, WOODEN_DOOR
+from repro.acoustics.spl import scale_to_spl, spl_of
+from repro.dsp.generators import tone
+from repro.phonemes.inventory import phoneme_symbols
+from repro.phonemes.speaker import generate_speakers
+from repro.phonemes.synthesis import PhonemeSynthesizer
+
+_SYNTH = PhonemeSynthesizer()
+_SPEAKERS = generate_speakers(4, rng=7)
+_SOUNDING = phoneme_symbols(sounding_only=True)
+
+
+@given(
+    st.sampled_from(_SOUNDING),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_synthesis_always_finite_and_bounded(symbol, speaker_index,
+                                             seed):
+    sound = _SYNTH.synthesize(
+        symbol, _SPEAKERS[speaker_index], rng=seed
+    )
+    assert np.all(np.isfinite(sound))
+    assert np.max(np.abs(sound)) < 10.0
+
+
+@given(
+    st.sampled_from(_SOUNDING),
+    st.floats(min_value=0.05, max_value=0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_synthesis_duration_respected(symbol, duration):
+    sound = _SYNTH.synthesize(
+        symbol, _SPEAKERS[0], duration_s=duration, rng=0
+    )
+    assert sound.size == max(int(round(duration * 16_000)), 8)
+
+
+@given(st.floats(min_value=40.0, max_value=95.0))
+@settings(max_examples=40, deadline=None)
+def test_spl_roundtrip(target):
+    signal = tone(440.0, 0.25, 16_000.0)
+    assert spl_of(scale_to_spl(signal, target)) == (
+        __import__("pytest").approx(target, abs=1e-6)
+    )
+
+
+@given(
+    st.sampled_from([GLASS_WINDOW, WOODEN_DOOR]),
+    st.floats(min_value=20.0, max_value=7900.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_barrier_gain_never_amplifies(material, frequency):
+    gain = material.transmission_gain(np.array([frequency]))[0]
+    assert 0.0 < gain < 1.0

@@ -1,0 +1,79 @@
+"""Barrier transmission filter behaviour (Eq. (1), Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.barrier import Barrier
+from repro.acoustics.materials import BRICK_WALL, GLASS_WINDOW
+from repro.dsp.generators import tone
+from repro.dsp.spectrum import band_energy
+
+RATE = 16_000.0
+
+
+@pytest.fixture()
+def barrier():
+    return Barrier(GLASS_WINDOW, resonance_db=0.0)
+
+
+def _rms(x):
+    return float(np.sqrt(np.mean(x**2)))
+
+
+def test_low_frequency_mostly_survives(barrier):
+    low = tone(200.0, 0.5, RATE)
+    out = barrier.transmit(low, RATE)
+    # Glass low-band loss is ~7 dB -> amplitude ratio ~0.45.
+    assert 0.3 < _rms(out) / _rms(low) < 0.6
+
+
+def test_high_frequency_mostly_blocked(barrier):
+    high = tone(3000.0, 0.5, RATE)
+    out = barrier.transmit(high, RATE)
+    assert _rms(out) / _rms(high) < 0.05
+
+
+def test_barrier_effect_shifts_spectrum_low(barrier):
+    mixture = tone(200.0, 0.5, RATE) + tone(2000.0, 0.5, RATE)
+    out = barrier.transmit(mixture, RATE)
+    low_in = band_energy(mixture, RATE, 100.0, 400.0)
+    high_in = band_energy(mixture, RATE, 1500.0, 2500.0)
+    low_out = band_energy(out, RATE, 100.0, 400.0)
+    high_out = band_energy(out, RATE, 1500.0, 2500.0)
+    assert high_in / low_in > 20 * (high_out / low_out)
+
+
+def test_brick_blocks_everything():
+    barrier = Barrier(BRICK_WALL, resonance_db=0.0)
+    signal = tone(200.0, 0.5, RATE) + tone(2000.0, 0.5, RATE)
+    out = barrier.transmit(signal, RATE)
+    assert _rms(out) < 0.02 * _rms(signal)
+
+
+def test_thickness_scale_increases_loss():
+    thin = Barrier(GLASS_WINDOW, thickness_scale=1.0, resonance_db=0.0)
+    thick = Barrier(GLASS_WINDOW, thickness_scale=2.0, resonance_db=0.0)
+    signal = tone(1000.0, 0.5, RATE)
+    assert _rms(thick.transmit(signal, RATE)) < _rms(
+        thin.transmit(signal, RATE)
+    )
+
+
+def test_resonance_ripple_varies_per_transmission():
+    barrier = Barrier(GLASS_WINDOW, resonance_db=2.0)
+    signal = tone(300.0, 0.5, RATE)
+    a = barrier.transmit(signal, RATE, rng=1)
+    b = barrier.transmit(signal, RATE, rng=2)
+    assert not np.allclose(a, b)
+
+
+def test_deterministic_without_ripple(barrier):
+    signal = tone(300.0, 0.5, RATE)
+    np.testing.assert_array_equal(
+        barrier.transmit(signal, RATE), barrier.transmit(signal, RATE)
+    )
+
+
+def test_output_length_preserved(barrier):
+    signal = tone(300.0, 0.313, RATE)
+    assert barrier.transmit(signal, RATE).size == signal.size

@@ -1,0 +1,77 @@
+"""Barrier materials and transmission curves."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.materials import (
+    BRICK_WALL,
+    BarrierMaterial,
+    GLASS_WALL,
+    GLASS_WINDOW,
+    MATERIALS,
+    WOODEN_DOOR,
+    get_material,
+)
+from repro.errors import ConfigurationError
+
+
+def test_registry_contents():
+    assert set(MATERIALS) == {
+        "glass_window", "glass_wall", "wooden_door", "brick_wall"
+    }
+
+
+def test_get_material_unknown():
+    with pytest.raises(ConfigurationError):
+        get_material("cardboard")
+
+
+@pytest.mark.parametrize(
+    "material", [GLASS_WINDOW, GLASS_WALL, WOODEN_DOOR]
+)
+def test_high_frequencies_attenuate_more(material):
+    low = material.transmission_loss_db(np.array([200.0]))[0]
+    high = material.transmission_loss_db(np.array([3000.0]))[0]
+    assert high > low + 10.0
+
+
+def test_brick_blocks_all_frequencies():
+    losses = BRICK_WALL.transmission_loss_db(
+        np.array([100.0, 500.0, 2000.0])
+    )
+    assert np.all(losses > 30.0)
+
+
+def test_wood_more_transmissive_than_glass_in_low_band():
+    freqs = np.array([100.0, 200.0, 400.0])
+    wood = WOODEN_DOOR.transmission_loss_db(freqs)
+    glass = GLASS_WINDOW.transmission_loss_db(freqs)
+    assert np.all(wood < glass)
+
+
+def test_loss_is_monotonic_in_frequency():
+    freqs = np.linspace(50, 6000, 200)
+    losses = GLASS_WINDOW.transmission_loss_db(freqs)
+    assert np.all(np.diff(losses) >= -1e-9)
+
+
+def test_transmission_gain_matches_loss():
+    freqs = np.array([100.0, 1000.0])
+    gain = GLASS_WINDOW.transmission_gain(freqs)
+    loss = GLASS_WINDOW.transmission_loss_db(freqs)
+    np.testing.assert_allclose(gain, 10 ** (-loss / 20), rtol=1e-12)
+
+
+def test_paper_alpha_coefficients_recorded():
+    assert GLASS_WINDOW.alpha_low == pytest.approx(0.10)
+    assert GLASS_WINDOW.alpha_high == pytest.approx(0.02)
+    assert WOODEN_DOOR.alpha_low == pytest.approx(0.14)
+    assert WOODEN_DOOR.alpha_high == pytest.approx(0.04)
+
+
+def test_invalid_material_rejected():
+    with pytest.raises(ConfigurationError):
+        BarrierMaterial(
+            name="bad", alpha_low=0.1, alpha_high=0.1,
+            loss_low_db=-5.0, loss_high_db=10.0,
+        )

@@ -1,0 +1,59 @@
+"""Distance propagation and air absorption."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.propagation import (
+    air_absorption,
+    propagate,
+    spreading_gain,
+)
+from repro.dsp.generators import tone
+from repro.errors import ConfigurationError
+
+RATE = 16_000.0
+
+
+def _rms(x):
+    return float(np.sqrt(np.mean(x**2)))
+
+
+def test_spreading_gain_inverse_distance():
+    assert spreading_gain(2.0) == pytest.approx(0.5)
+    assert spreading_gain(4.0) == pytest.approx(0.25)
+
+
+def test_spreading_clamped_below_reference():
+    assert spreading_gain(0.3) == 1.0
+
+
+def test_spreading_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        spreading_gain(0.0)
+
+
+def test_propagation_attenuates_with_distance():
+    signal = tone(500.0, 0.5, RATE)
+    near = propagate(signal, RATE, 1.0)
+    far = propagate(signal, RATE, 4.0)
+    assert _rms(far) == pytest.approx(_rms(near) / 4.0, rel=0.02)
+
+
+def test_air_absorption_hits_high_frequencies_harder():
+    freqs = np.array([100.0, 8000.0])
+    gains = air_absorption(freqs, 10.0)
+    assert gains[1] < gains[0]
+    assert gains[0] > 0.99  # Negligible at 100 Hz over 10 m.
+
+
+def test_propagation_delay_prepends_zeros():
+    signal = tone(500.0, 0.1, RATE)
+    delayed = propagate(signal, RATE, 3.43, include_delay=True)
+    expected_delay = int(round(3.43 / 343.0 * RATE))
+    assert delayed.size == signal.size + expected_delay
+    assert np.all(delayed[: expected_delay // 2] == 0.0)
+
+
+def test_propagation_without_delay_preserves_length():
+    signal = tone(500.0, 0.1, RATE)
+    assert propagate(signal, RATE, 2.0).size == signal.size

@@ -1,0 +1,66 @@
+"""SPL calibration conventions."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.spl import (
+    REFERENCE_RMS_AT_65_DB,
+    db_to_gain,
+    gain_to_db,
+    rms,
+    scale_to_spl,
+    spl_of,
+)
+from repro.dsp.generators import tone, white_noise
+from repro.errors import ConfigurationError, SignalError
+
+
+def test_db_gain_roundtrip():
+    for db in (-20.0, 0.0, 12.5):
+        assert gain_to_db(db_to_gain(db)) == pytest.approx(db)
+
+
+def test_gain_to_db_rejects_nonpositive():
+    with pytest.raises(ConfigurationError):
+        gain_to_db(0.0)
+
+
+def test_rms_of_unit_sine():
+    signal = tone(100.0, 1.0, 8000.0, amplitude=1.0)
+    assert rms(signal) == pytest.approx(1 / np.sqrt(2), rel=0.01)
+
+
+def test_reference_convention():
+    signal = white_noise(1.0, 8000.0, amplitude=REFERENCE_RMS_AT_65_DB,
+                         rng=0)
+    assert spl_of(signal) == pytest.approx(65.0, abs=0.5)
+
+
+def test_scale_to_spl_hits_target():
+    signal = tone(100.0, 1.0, 8000.0)
+    for target in (55.0, 65.0, 85.0):
+        scaled = scale_to_spl(signal, target)
+        assert spl_of(scaled) == pytest.approx(target, abs=1e-6)
+
+
+def test_scale_preserves_shape():
+    signal = tone(100.0, 0.5, 8000.0)
+    scaled = scale_to_spl(signal, 75.0)
+    correlation = np.corrcoef(signal, scaled)[0, 1]
+    assert correlation == pytest.approx(1.0)
+
+
+def test_plus_6db_doubles_amplitude():
+    signal = tone(100.0, 0.5, 8000.0)
+    quiet = scale_to_spl(signal, 65.0)
+    loud = scale_to_spl(signal, 71.0)
+    assert rms(loud) / rms(quiet) == pytest.approx(
+        db_to_gain(6.0), rel=1e-6
+    )
+
+
+def test_silent_signal_rejected():
+    with pytest.raises(SignalError):
+        scale_to_spl(np.zeros(100), 65.0)
+    with pytest.raises(SignalError):
+        spl_of(np.zeros(100))

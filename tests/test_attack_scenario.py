@@ -1,0 +1,102 @@
+"""Attack scenario plumbing: paired device recordings."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.materials import BRICK_WALL, GLASS_WINDOW
+from repro.acoustics.room import RoomConfig
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenario import AttackScenario, ThruBarrierChannel
+from repro.acoustics.barrier import Barrier
+from repro.dsp.spectrum import band_energy
+from repro.errors import ConfigurationError
+from repro.phonemes.commands import phonemize
+
+RATE = 16_000.0
+
+
+@pytest.fixture(scope="module")
+def scenario(room_config):
+    return AttackScenario(room_config=room_config)
+
+
+@pytest.fixture(scope="module")
+def utterance(corpus):
+    return corpus.utterance(
+        phonemize("alexa what time is it"), rng=11
+    )
+
+
+class TestThruBarrierChannel:
+    def test_barrier_shapes_spectrum(self, corpus):
+        channel = ThruBarrierChannel(barrier=Barrier(GLASS_WINDOW))
+        utterance = corpus.utterance(phonemize("play music"), rng=1)
+        out = channel.transmit(utterance.waveform, RATE, spl_db=75.0,
+                               rng=2)
+        low = band_energy(out, RATE, 100.0, 450.0)
+        high = band_energy(out, RATE, 1500.0, 3000.0)
+        assert low > 5 * high
+
+    def test_brick_blocks(self, corpus):
+        glass = ThruBarrierChannel(barrier=Barrier(GLASS_WINDOW))
+        brick = ThruBarrierChannel(barrier=Barrier(BRICK_WALL))
+        utterance = corpus.utterance(phonemize("play music"), rng=1)
+        out_glass = glass.transmit(utterance.waveform, RATE, 75.0, rng=2)
+        out_brick = brick.transmit(utterance.waveform, RATE, 75.0, rng=2)
+        assert np.sqrt(np.mean(out_brick**2)) < 0.2 * np.sqrt(
+            np.mean(out_glass**2)
+        )
+
+
+class TestScenario:
+    def test_legitimate_pair_shapes(self, scenario, utterance):
+        va, wearable = scenario.legitimate_recordings(
+            utterance, spl_db=70.0, rng=0
+        )
+        # The wearable misses the WiFi-delay head.
+        assert wearable.size < va.size
+        assert va.size > utterance.waveform.size  # lead/tail padding
+
+    def test_attack_pair_generated(self, scenario, corpus, utterance):
+        replay = ReplayAttack(corpus, corpus.speakers[0])
+        attack = replay.generate(command="play music", rng=1)
+        va, wearable = scenario.attack_recordings(
+            attack, spl_db=75.0, rng=2
+        )
+        assert va.size > 0 and wearable.size > 0
+
+    def test_attack_quieter_than_legit(self, scenario, corpus,
+                                       utterance):
+        va_legit, _ = scenario.legitimate_recordings(
+            utterance, spl_db=70.0, rng=3
+        )
+        replay = ReplayAttack(corpus, corpus.speakers[0])
+        attack = replay.generate(command="play music", rng=4)
+        va_attack, _ = scenario.attack_recordings(attack, spl_db=70.0,
+                                                  rng=5)
+        assert np.sqrt(np.mean(va_attack**2)) < np.sqrt(
+            np.mean(va_legit**2)
+        )
+
+    def test_wifi_delay_within_expectations(self, scenario, utterance):
+        deltas = []
+        for seed in range(6):
+            va, wearable = scenario.legitimate_recordings(
+                utterance, spl_db=70.0, rng=seed
+            )
+            deltas.append((va.size - wearable.size) / RATE)
+        assert all(0.0 <= d <= 0.35 for d in deltas)
+        assert np.mean(deltas) == pytest.approx(0.1, abs=0.06)
+
+    def test_louder_attack_louder_recording(self, scenario, corpus):
+        replay = ReplayAttack(corpus, corpus.speakers[0])
+        attack = replay.generate(command="play music", rng=6)
+        quiet, _ = scenario.attack_recordings(attack, spl_db=65.0, rng=7)
+        loud, _ = scenario.attack_recordings(attack, spl_db=85.0, rng=7)
+        assert np.sqrt(np.mean(loud**2)) > 2 * np.sqrt(
+            np.mean(quiet**2)
+        )
+
+    def test_invalid_distance(self, room_config):
+        with pytest.raises(ConfigurationError):
+            AttackScenario(room_config=room_config, barrier_to_va_m=0.0)

@@ -1,0 +1,134 @@
+"""Attack generators."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackKind
+from repro.attacks.hidden_voice import HiddenVoiceAttack
+from repro.attacks.random_attack import RandomAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.synthesis import (
+    VoiceSynthesisAttack,
+    estimate_speaker,
+)
+from repro.dsp.spectrum import band_energy, band_energy_ratio
+from repro.errors import ConfigurationError
+
+RATE = 16_000.0
+
+
+@pytest.fixture(scope="module")
+def victim(corpus):
+    return corpus.speakers[0]
+
+
+@pytest.fixture(scope="module")
+def adversary(corpus):
+    return corpus.speakers[1]
+
+
+class TestRandomAttack:
+    def test_uses_adversary_voice(self, corpus, adversary):
+        attack = RandomAttack(corpus, adversary).generate(rng=0)
+        assert attack.kind is AttackKind.RANDOM
+        assert attack.utterance.speaker_id == adversary.speaker_id
+
+    def test_specified_command(self, corpus, adversary):
+        attack = RandomAttack(corpus, adversary).generate(
+            command="alexa what time is it", rng=1
+        )
+        assert "what time" in attack.description or (
+            "what time" in attack.utterance.text
+        )
+
+    def test_rejects_empty_commands(self, corpus, adversary):
+        with pytest.raises(ConfigurationError):
+            RandomAttack(corpus, adversary, commands=[])
+
+
+class TestReplayAttack:
+    def test_uses_victim_voice(self, corpus, victim):
+        attack = ReplayAttack(corpus, victim).generate(rng=0)
+        assert attack.kind is AttackKind.REPLAY
+        assert attack.utterance.speaker_id == victim.speaker_id
+
+    def test_recording_adds_noise(self, corpus, victim):
+        attack = ReplayAttack(corpus, victim).generate(
+            command="alexa what time is it", rng=2
+        )
+        # The replayed waveform is a mic recording, not the raw clean
+        # utterance.
+        clean = attack.utterance.waveform
+        n = min(clean.size, attack.waveform.size)
+        assert not np.allclose(attack.waveform[:n], clean[:n])
+
+
+class TestSynthesisAttack:
+    def test_clones_victim_parameters(self, corpus, victim):
+        attack_gen = VoiceSynthesisAttack(
+            corpus, victim, n_enrollment=20, rng=0
+        )
+        clone = attack_gen.cloned_speaker
+        assert clone.f0_hz == pytest.approx(victim.f0_hz, rel=0.05)
+        assert clone.formant_scale == pytest.approx(
+            victim.formant_scale, rel=0.05
+        )
+
+    def test_more_enrollment_tighter_estimate(self, corpus, victim):
+        def error(n, seed):
+            utterances = [
+                corpus.utterance(["ae", "t"], speaker=victim,
+                                 rng=100 + i)
+                for i in range(n)
+            ]
+            estimate = estimate_speaker(utterances, victim, rng=seed)
+            return abs(estimate.f0_hz - victim.f0_hz)
+
+        small = np.mean([error(1, s) for s in range(20)])
+        large = np.mean([error(25, s) for s in range(20)])
+        assert large < small
+
+    def test_flattened_prosody(self, corpus, victim):
+        attack_gen = VoiceSynthesisAttack(corpus, victim, rng=1)
+        assert attack_gen.cloned_speaker.jitter < victim.jitter + 1e-9
+
+    def test_generates_sound(self, corpus, victim):
+        attack = VoiceSynthesisAttack(corpus, victim, rng=2).generate(
+            rng=3
+        )
+        assert attack.kind is AttackKind.SYNTHESIS
+        assert np.sqrt(np.mean(attack.waveform**2)) > 0
+
+    def test_enrollment_required(self, corpus, victim):
+        with pytest.raises(ConfigurationError):
+            VoiceSynthesisAttack(corpus, victim, n_enrollment=0)
+
+
+class TestHiddenVoiceAttack:
+    def test_wideband_content(self, corpus):
+        attack = HiddenVoiceAttack(corpus).generate(rng=0)
+        assert attack.kind is AttackKind.HIDDEN_VOICE
+        # Hidden commands occupy 0-6 kHz: substantial energy above 3 kHz.
+        ratio = band_energy_ratio(attack.waveform, RATE, 3000.0)
+        assert ratio > 0.1
+
+    def test_band_limited_at_6khz(self, corpus):
+        attack = HiddenVoiceAttack(corpus).generate(rng=1)
+        inside = band_energy(attack.waveform, RATE, 100.0, 6000.0)
+        outside = band_energy(attack.waveform, RATE, 6800.0, 7900.0)
+        assert inside > 50 * outside
+
+    def test_noise_like_not_voice_like(self, corpus):
+        attack = HiddenVoiceAttack(corpus).generate(rng=2)
+        template = attack.utterance.waveform
+        n = min(template.size, attack.waveform.size)
+        correlation = np.corrcoef(
+            attack.waveform[:n], template[:n]
+        )[0, 1]
+        assert abs(correlation) < 0.3
+
+    def test_preserves_overall_level(self, corpus):
+        attack = HiddenVoiceAttack(corpus).generate(rng=3)
+        template_rms = np.sqrt(np.mean(attack.utterance.waveform**2))
+        attack_rms = np.sqrt(np.mean(attack.waveform**2))
+        assert attack_rms == pytest.approx(template_rms, rel=0.05)

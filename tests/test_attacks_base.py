@@ -1,0 +1,28 @@
+"""Attack base types."""
+
+import numpy as np
+
+from repro.attacks.base import AttackKind, AttackSound
+
+
+def test_attack_kinds_cover_threat_model():
+    assert {kind.value for kind in AttackKind} == {
+        "random", "replay", "synthesis", "hidden_voice"
+    }
+
+
+def test_attack_kind_roundtrip():
+    for kind in AttackKind:
+        assert AttackKind(kind.value) is kind
+
+
+def test_attack_sound_fields():
+    sound = AttackSound(
+        kind=AttackKind.REPLAY,
+        waveform=np.zeros(10),
+        sample_rate=16_000.0,
+        description="demo",
+    )
+    assert sound.utterance is None
+    assert sound.kind is AttackKind.REPLAY
+    assert sound.waveform.size == 10

@@ -1,0 +1,40 @@
+"""CLI entry points (fast commands only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_select_command(capsys):
+    exit_code = main(["select", "--segments", "8", "--seed", "42"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "selected" in captured
+    assert "rejected" in captured
+
+
+def test_attack_study_command(capsys):
+    exit_code = main(["attack-study", "--attempts", "3", "--seed", "5"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "Google Home" in captured
+    assert "iPhone" in captured
+
+
+@pytest.mark.slow
+def test_demo_command(capsys):
+    exit_code = main(["demo", "--seed", "3"])
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "attack detected" in captured
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_help_exits_zero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,99 @@
+"""Threshold calibration strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    CalibrationReport,
+    calibrate_eer,
+    calibrate_max_fdr,
+    calibrate_min_tdr,
+)
+from repro.errors import CalibrationError
+
+
+@pytest.fixture()
+def separable_scores(rng):
+    legit = rng.normal(0.7, 0.05, 100)
+    attack = rng.normal(0.2, 0.05, 100)
+    return legit, attack
+
+
+@pytest.fixture()
+def overlapping_scores(rng):
+    legit = rng.normal(0.6, 0.1, 200)
+    attack = rng.normal(0.4, 0.1, 200)
+    return legit, attack
+
+
+class TestEER:
+    def test_separable_gives_perfect_rates(self, separable_scores):
+        legit, attack = separable_scores
+        report = calibrate_eer(legit, attack)
+        assert report.expected_fdr == 0.0
+        assert report.expected_tdr == 1.0
+        assert 0.3 < report.threshold < 0.6
+
+    def test_overlapping_balances_errors(self, overlapping_scores):
+        legit, attack = overlapping_scores
+        report = calibrate_eer(legit, attack)
+        miss_rate = 1.0 - report.expected_tdr
+        assert abs(report.expected_fdr - miss_rate) < 0.05
+
+    def test_report_string(self, separable_scores):
+        report = calibrate_eer(*separable_scores)
+        assert "threshold" in str(report)
+        assert isinstance(report, CalibrationReport)
+
+
+class TestMaxFDR:
+    def test_fdr_bound_respected(self, overlapping_scores):
+        legit, attack = overlapping_scores
+        for bound in (0.0, 0.02, 0.1):
+            report = calibrate_max_fdr(legit, attack, max_fdr=bound)
+            assert report.expected_fdr <= bound + 1e-12
+
+    def test_zero_fdr_possible(self, separable_scores):
+        legit, attack = separable_scores
+        report = calibrate_max_fdr(legit, attack, max_fdr=0.0)
+        assert report.expected_fdr == 0.0
+        assert report.expected_tdr > 0.9  # still catches attacks
+
+    def test_looser_bound_more_detection(self, overlapping_scores):
+        legit, attack = overlapping_scores
+        tight = calibrate_max_fdr(legit, attack, max_fdr=0.01)
+        loose = calibrate_max_fdr(legit, attack, max_fdr=0.2)
+        assert loose.expected_tdr >= tight.expected_tdr
+
+    def test_invalid_bound(self, separable_scores):
+        with pytest.raises(CalibrationError):
+            calibrate_max_fdr(*separable_scores, max_fdr=1.5)
+
+
+class TestMinTDR:
+    def test_tdr_bound_respected(self, overlapping_scores):
+        legit, attack = overlapping_scores
+        for bound in (0.5, 0.9, 1.0):
+            report = calibrate_min_tdr(legit, attack, min_tdr=bound)
+            assert report.expected_tdr >= bound - 1e-12
+
+    def test_stricter_bound_more_false_alarms(self,
+                                              overlapping_scores):
+        legit, attack = overlapping_scores
+        loose = calibrate_min_tdr(legit, attack, min_tdr=0.5)
+        strict = calibrate_min_tdr(legit, attack, min_tdr=0.99)
+        assert strict.expected_fdr >= loose.expected_fdr
+
+    def test_invalid_bound(self, separable_scores):
+        with pytest.raises(CalibrationError):
+            calibrate_min_tdr(*separable_scores, min_tdr=-0.1)
+
+
+def test_empty_scores_rejected():
+    with pytest.raises(CalibrationError):
+        calibrate_eer([], [0.5])
+
+
+def test_non_finite_rejected():
+    with pytest.raises(CalibrationError):
+        calibrate_max_fdr([0.5, np.inf], [0.1])

@@ -1,0 +1,104 @@
+"""Vibration-domain feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FeatureConfig, VibrationFeatureExtractor
+from repro.dsp.generators import tone, white_noise
+from repro.dsp.stft import stft_frequencies
+from repro.errors import ConfigurationError, SignalError
+
+RATE = 200.0
+
+
+def _vibration(seconds=2.0, rng=0):
+    return tone(40.0, seconds, RATE, amplitude=0.01) + white_noise(
+        seconds, RATE, amplitude=0.002, rng=rng
+    )
+
+
+def test_feature_shape():
+    extractor = VibrationFeatureExtractor()
+    features = extractor.extract(_vibration())
+    # 33 bins minus the <=5 Hz crop (bins at 0, 3.125 Hz).
+    freqs = stft_frequencies(64, RATE)
+    expected_bins = int(np.sum(freqs > 5.0))
+    assert features.shape[0] == expected_bins
+
+
+def test_artifact_crop_removes_dc_rows():
+    no_crop = VibrationFeatureExtractor(
+        FeatureConfig(artifact_cutoff_hz=0.0, highpass_hz=0.0)
+    )
+    cropped = VibrationFeatureExtractor(
+        FeatureConfig(artifact_cutoff_hz=5.0, highpass_hz=0.0)
+    )
+    vibration = _vibration()
+    assert (
+        cropped.extract(vibration).shape[0]
+        < no_crop.extract(vibration).shape[0]
+    )
+
+
+def test_normalization_caps_at_zero_db():
+    extractor = VibrationFeatureExtractor()
+    features = extractor.extract(_vibration())
+    assert features.max() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_log_floor_applied():
+    config = FeatureConfig(log_floor_db=-35.0)
+    extractor = VibrationFeatureExtractor(config)
+    features = extractor.extract(_vibration())
+    assert features.min() >= -35.0
+
+
+def test_linear_mode():
+    config = FeatureConfig(log_compress=False)
+    extractor = VibrationFeatureExtractor(config)
+    features = extractor.extract(_vibration())
+    assert features.min() >= 0.0
+    assert features.max() == pytest.approx(1.0)
+
+
+def test_scale_invariance_of_normalized_features():
+    extractor = VibrationFeatureExtractor(
+        FeatureConfig(highpass_hz=0.0)
+    )
+    vibration = _vibration()
+    a = extractor.extract(vibration)
+    b = extractor.extract(10.0 * vibration)
+    np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+def test_highpass_removes_body_motion_band():
+    from repro.sensing.body_motion import body_motion_interference
+
+    motion = body_motion_interference(800, RATE, intensity=0.05, rng=1)
+    vibration = _vibration(4.0) + motion
+    with_hp = VibrationFeatureExtractor(
+        FeatureConfig(highpass_hz=5.0, artifact_cutoff_hz=0.0,
+                      log_compress=False, normalize=False)
+    ).extract(vibration)
+    without_hp = VibrationFeatureExtractor(
+        FeatureConfig(highpass_hz=0.0, artifact_cutoff_hz=0.0,
+                      log_compress=False, normalize=False)
+    ).extract(vibration)
+    freqs = stft_frequencies(64, RATE)
+    low_rows = freqs <= 4.0
+    assert (
+        with_hp[low_rows].sum() < 0.2 * without_hp[low_rows].sum()
+    )
+
+
+def test_too_short_signal_rejected():
+    extractor = VibrationFeatureExtractor()
+    with pytest.raises(SignalError):
+        extractor.extract(np.zeros(10) + 0.01)
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigurationError):
+        FeatureConfig(n_fft=0)
+    with pytest.raises(ConfigurationError):
+        FeatureConfig(log_floor_db=1.0)

@@ -1,0 +1,81 @@
+"""Phoneme-selection unit behaviour (fast paths).
+
+The full 37-phoneme selection is exercised by
+``benchmarks/bench_table2_common_phonemes.py``; these tests cover the
+machinery on small phoneme subsets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.phoneme_selection import (
+    PhonemeProfile,
+    PhonemeSelectionConfig,
+    PhonemeSelector,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_follow_paper_protocol(self):
+        config = PhonemeSelectionConfig()
+        assert config.playback_spl_db == 75.0
+        assert config.playback_spl_db_high == 85.0
+        assert config.barrier_to_mic_m == 2.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"n_segments": 0},
+            {"band_low_hz": 50.0, "band_high_hz": 40.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PhonemeSelectionConfig(**kwargs)
+
+
+class TestProfile:
+    def test_statistics(self):
+        profile = PhonemeProfile(
+            symbol="ae",
+            frequencies=np.array([20.0, 40.0]),
+            q3_thru_barrier=np.array([0.001, 0.004]),
+            q3_direct=np.array([0.03, 0.02]),
+        )
+        assert profile.max_thru_barrier() == 0.004
+        assert profile.min_direct() == 0.02
+
+
+class TestSelectorSubset:
+    @pytest.fixture(scope="class")
+    def result(self, corpus):
+        selector = PhonemeSelector(
+            corpus=corpus,
+            config=PhonemeSelectionConfig(n_segments=8),
+            seed=5,
+        )
+        return selector.run(["ae", "er", "s", "aa"])
+
+    def test_sensitive_vowels_selected(self, result):
+        assert "ae" in result.selected
+        assert "er" in result.selected
+
+    def test_weak_fricative_rejected_via_criterion_2(self, result):
+        assert "s" not in result.selected
+        assert "s" in result.satisfies_criterion_1  # quiet thru barrier
+        assert "s" not in result.satisfies_criterion_2
+
+    def test_loud_vowel_rejected_via_criterion_1(self, result):
+        assert "aa" not in result.selected
+        assert "aa" not in result.satisfies_criterion_1
+
+    def test_rejected_property(self, result):
+        assert set(result.rejected) == {"s", "aa"}
+
+    def test_profiles_present_for_all(self, result):
+        assert set(result.profiles) == {"ae", "er", "s", "aa"}
+        for profile in result.profiles.values():
+            assert profile.frequencies.size > 0
+            assert np.all(profile.q3_direct >= 0)

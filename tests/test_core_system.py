@@ -1,0 +1,137 @@
+"""Top-level ThruBarrierDefense façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import PhonemeSegmenter
+from repro.core.system import CommandJudgement, ThruBarrierDefense
+from repro.errors import CalibrationError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def defense(corpus):
+    segmenter = PhonemeSegmenter(rng=3)
+    segmenter.train_on_phoneme_segments(
+        corpus, n_per_phoneme=4, epochs=6, rng=4
+    )
+    return ThruBarrierDefense(seed=5, segmenter=segmenter)
+
+
+@pytest.fixture(scope="module")
+def recording_pair(corpus, room_config):
+    from repro.attacks.scenario import AttackScenario
+    from repro.phonemes.commands import phonemize
+
+    scenario = AttackScenario(room_config=room_config)
+    utterance = corpus.utterance(
+        phonemize("alexa play my favorite playlist"),
+        speaker=corpus.speakers[0],
+        rng=6,
+    )
+    return scenario.legitimate_recordings(utterance, spl_db=70.0, rng=7)
+
+
+class TestPolicy:
+    def test_wearable_absent_rejected(self, defense):
+        judgement = defense.judge(np.ones(100), None)
+        assert not judgement.accepted
+        assert "wearable absent" in judgement.reason
+
+    def test_empty_wearable_recording_rejected(self, defense):
+        judgement = defense.judge(np.ones(100), np.zeros(0))
+        assert not judgement.accepted
+
+    def test_missing_va_recording_rejected(self, defense,
+                                           recording_pair):
+        _, wearable = recording_pair
+        judgement = defense.judge(None, wearable)
+        assert not judgement.accepted
+
+    def test_uncalibrated_system_refuses(self, defense,
+                                         recording_pair):
+        va, wearable = recording_pair
+        assert not defense.is_calibrated
+        judgement = defense.judge(va, wearable, rng=1)
+        assert not judgement.accepted
+        assert "not calibrated" in judgement.reason
+
+
+class TestCalibration:
+    def test_calibrate_eer(self, defense):
+        report = defense.calibrate([0.8, 0.9, 0.7], [0.1, 0.2, 0.15])
+        assert defense.is_calibrated
+        assert 0.2 < report.threshold < 0.7
+
+    def test_calibrate_max_fdr(self, defense):
+        report = defense.calibrate(
+            [0.8, 0.9, 0.7], [0.1, 0.2, 0.15], max_fdr=0.0
+        )
+        assert report.expected_fdr == 0.0
+
+    def test_manual_threshold(self, defense):
+        defense.set_threshold(0.45)
+        assert defense.calibration.threshold == 0.45
+        assert defense.calibration.strategy == "manual"
+
+    def test_invalid_manual_threshold(self, defense):
+        with pytest.raises(ConfigurationError):
+            defense.set_threshold(2.0)
+
+    def test_calibration_property_guard(self, corpus):
+        segmenter = PhonemeSegmenter(rng=8)
+        segmenter.train_on_phoneme_segments(
+            corpus, n_per_phoneme=2, epochs=1, rng=9
+        )
+        fresh = ThruBarrierDefense(seed=10, segmenter=segmenter)
+        with pytest.raises(CalibrationError):
+            _ = fresh.calibration
+
+
+class TestJudgement:
+    def test_legitimate_command_accepted(self, defense,
+                                         recording_pair):
+        defense.set_threshold(0.45)
+        va, wearable = recording_pair
+        judgement = defense.judge(va, wearable, rng=11)
+        assert isinstance(judgement, CommandJudgement)
+        assert judgement.accepted
+        assert judgement.score is not None
+
+    def test_repeated_judging_accepts_legit(self, defense,
+                                            recording_pair):
+        defense.set_threshold(0.45)
+        va, wearable = recording_pair
+        judgement = defense.judge_repeated(
+            [(va, wearable), (va, wearable)], rng=20
+        )
+        assert judgement.accepted
+        assert "repetitions" in judgement.reason
+
+    def test_repeated_judging_policy_propagates(self, defense):
+        defense.set_threshold(0.45)
+        judgement = defense.judge_repeated([(np.ones(10), None)],
+                                           rng=21)
+        assert not judgement.accepted
+        assert "wearable absent" in judgement.reason
+
+    def test_repeated_judging_needs_pairs(self, defense):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            defense.judge_repeated([])
+
+    def test_attack_rejected(self, defense, corpus, room_config):
+        from repro.attacks.replay import ReplayAttack
+        from repro.attacks.scenario import AttackScenario
+
+        defense.set_threshold(0.45)
+        scenario = AttackScenario(room_config=room_config)
+        attack = ReplayAttack(corpus, corpus.speakers[0]).generate(
+            command="alexa play my favorite playlist", rng=12
+        )
+        va, wearable = scenario.attack_recordings(
+            attack, spl_db=75.0, rng=13
+        )
+        judgement = defense.judge(va, wearable, rng=14)
+        assert not judgement.accepted
+        assert "attack detected" in judgement.reason

@@ -1,0 +1,103 @@
+"""Cross-correlation alignment and 2-D correlation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlate import (
+    align_by_cross_correlation,
+    correlation_2d,
+    cross_correlation_delay,
+    normalized_cross_correlation,
+)
+from repro.errors import SignalError
+
+
+def _burst(rng, n=400, offset=100):
+    signal = np.zeros(n)
+    signal[offset : offset + 100] = rng.standard_normal(100)
+    return signal
+
+
+def test_delay_estimation_positive(rng):
+    # Wearable missing head samples: its content leads.
+    va = _burst(rng)
+    wearable = va[40:]
+    delay = cross_correlation_delay(va, wearable, max_lag=80)
+    assert delay == 40
+
+
+def test_delay_estimation_negative(rng):
+    va = _burst(rng)
+    wearable = np.concatenate([np.zeros(25), va])
+    delay = cross_correlation_delay(va, wearable, max_lag=80)
+    assert delay == -25
+
+
+def test_delay_zero_for_identical(rng):
+    va = _burst(rng)
+    assert cross_correlation_delay(va, va.copy(), max_lag=50) == 0
+
+
+def test_align_restores_overlap(rng):
+    va = _burst(rng)
+    wearable = va[40:]
+    va_a, wearable_a, delay = align_by_cross_correlation(
+        va, wearable, max_lag=80
+    )
+    assert delay == 40
+    assert va_a.size == wearable_a.size
+    np.testing.assert_allclose(va_a, wearable_a)
+
+
+def test_align_noisy_copies(rng):
+    va = _burst(rng)
+    wearable = va[30:] + 0.05 * rng.standard_normal(va.size - 30)
+    va_a, wearable_a, _ = align_by_cross_correlation(va, wearable, 60)
+    corr = np.corrcoef(va_a, wearable_a)[0, 1]
+    assert corr > 0.9
+
+
+def test_normalized_cross_correlation_bounds(rng):
+    a = rng.standard_normal(200)
+    lags, values = normalized_cross_correlation(a, a, max_lag=20)
+    assert lags.size == 41
+    assert values.max() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(values <= 1.0 + 1e-9)
+
+
+def test_max_lag_negative_rejected(rng):
+    with pytest.raises(SignalError):
+        normalized_cross_correlation(
+            rng.standard_normal(10), rng.standard_normal(10), -1
+        )
+
+
+def test_correlation_2d_identity(rng):
+    matrix = rng.standard_normal((8, 12))
+    assert correlation_2d(matrix, matrix) == pytest.approx(1.0)
+
+
+def test_correlation_2d_sign_flip(rng):
+    matrix = rng.standard_normal((8, 12))
+    assert correlation_2d(matrix, -matrix) == pytest.approx(-1.0)
+
+
+def test_correlation_2d_independent_near_zero(rng):
+    a = rng.standard_normal((30, 30))
+    b = rng.standard_normal((30, 30))
+    assert abs(correlation_2d(a, b)) < 0.15
+
+
+def test_correlation_2d_crops_to_overlap(rng):
+    a = rng.standard_normal((8, 12))
+    b = np.pad(a, ((0, 2), (0, 3)))
+    assert correlation_2d(a, b) == pytest.approx(1.0)
+
+
+def test_correlation_2d_constant_input_is_zero():
+    assert correlation_2d(np.ones((4, 4)), np.ones((4, 4))) == 0.0
+
+
+def test_correlation_2d_scale_invariant(rng):
+    a = rng.standard_normal((6, 6))
+    assert correlation_2d(a, 3.5 * a + 2.0) == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Test-signal generators."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import (
+    linear_chirp,
+    pink_noise,
+    silence,
+    tone,
+    white_noise,
+)
+from repro.dsp.spectrum import band_energy, fft_magnitude
+from repro.errors import ConfigurationError
+
+RATE = 8000.0
+
+
+def test_silence_is_zero():
+    signal = silence(0.5, RATE)
+    assert signal.size == 4000
+    assert np.all(signal == 0.0)
+
+
+def test_tone_frequency():
+    signal = tone(440.0, 1.0, RATE)
+    freqs, mags = fft_magnitude(signal, RATE)
+    assert freqs[np.argmax(mags)] == pytest.approx(440.0, abs=2.0)
+
+
+def test_tone_amplitude():
+    signal = tone(100.0, 1.0, RATE, amplitude=0.25)
+    assert np.max(np.abs(signal)) == pytest.approx(0.25, rel=0.01)
+
+
+def test_chirp_sweeps_band():
+    signal = linear_chirp(500.0, 2500.0, 1.0, RATE)
+    inside = band_energy(signal, RATE, 450.0, 2600.0)
+    outside = band_energy(signal, RATE, 3000.0, 3900.0)
+    assert inside > 50 * outside
+
+
+def test_chirp_starts_at_start_frequency():
+    signal = linear_chirp(100.0, 1000.0, 2.0, RATE)
+    head = signal[: int(0.1 * RATE)]
+    freqs, mags = fft_magnitude(head, RATE)
+    assert freqs[np.argmax(mags)] < 300.0
+
+
+def test_white_noise_statistics():
+    signal = white_noise(2.0, RATE, amplitude=0.5, rng=3)
+    assert np.std(signal) == pytest.approx(0.5, rel=0.05)
+    assert abs(np.mean(signal)) < 0.02
+
+
+def test_white_noise_reproducible():
+    np.testing.assert_array_equal(
+        white_noise(0.1, RATE, rng=9), white_noise(0.1, RATE, rng=9)
+    )
+
+
+def test_pink_noise_slopes_down():
+    signal = pink_noise(4.0, RATE, amplitude=1.0, rng=5)
+    low = band_energy(signal, RATE, 20.0, 200.0)
+    high = band_energy(signal, RATE, 2000.0, 3900.0)
+    assert low > 2.0 * high
+
+
+def test_pink_noise_rms_calibrated():
+    signal = pink_noise(2.0, RATE, amplitude=0.3, rng=6)
+    assert np.sqrt(np.mean(signal**2)) == pytest.approx(0.3, rel=0.02)
+
+
+@pytest.mark.parametrize("duration", [0.0, -1.0])
+def test_invalid_durations(duration):
+    with pytest.raises(Exception):
+        tone(100.0, duration, RATE)

@@ -1,0 +1,69 @@
+"""Mel filterbanks and MFCC."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone, white_noise
+from repro.dsp.mel import hz_to_mel, mel_filterbank, mel_to_hz, mfcc
+from repro.errors import ConfigurationError
+
+RATE = 16_000.0
+
+
+def test_mel_roundtrip():
+    freqs = np.array([0.0, 100.0, 900.0, 4000.0])
+    np.testing.assert_allclose(mel_to_hz(hz_to_mel(freqs)), freqs,
+                               rtol=1e-10)
+
+
+def test_mel_is_monotonic():
+    freqs = np.linspace(0, 8000, 100)
+    mels = hz_to_mel(freqs)
+    assert np.all(np.diff(mels) > 0)
+
+
+def test_filterbank_shape():
+    bank = mel_filterbank(40, 512, RATE, high_hz=900.0)
+    assert bank.shape == (40, 257)
+
+
+def test_filterbank_nonnegative_and_bounded():
+    bank = mel_filterbank(20, 512, RATE)
+    assert np.all(bank >= 0)
+    assert np.all(bank <= 1.0 + 1e-12)
+
+
+def test_filterbank_restricted_band_has_no_energy_above():
+    bank = mel_filterbank(40, 512, RATE, high_hz=900.0)
+    freqs = np.fft.rfftfreq(512, d=1.0 / RATE)
+    above = freqs > 1000.0
+    assert bank[:, above].sum() == 0.0
+
+
+def test_filterbank_invalid_band():
+    with pytest.raises(ConfigurationError):
+        mel_filterbank(40, 512, RATE, low_hz=1000.0, high_hz=500.0)
+
+
+def test_mfcc_shape_matches_paper_config():
+    # 1 s at 16 kHz, 25 ms frames, 10 ms hop -> ~98-100 frames, 14 coeffs.
+    signal = white_noise(1.0, RATE, rng=0)
+    coefficients = mfcc(signal, RATE)
+    assert coefficients.shape[1] == 14
+    assert 95 <= coefficients.shape[0] <= 101
+
+
+def test_mfcc_distinguishes_tone_from_noise():
+    tone_coeffs = mfcc(tone(300.0, 0.5, RATE), RATE).mean(axis=0)
+    noise_coeffs = mfcc(white_noise(0.5, RATE, rng=1), RATE).mean(axis=0)
+    assert not np.allclose(tone_coeffs, noise_coeffs, atol=0.5)
+
+
+def test_mfcc_invalid_order():
+    with pytest.raises(ConfigurationError):
+        mfcc(tone(300.0, 0.2, RATE), RATE, n_mfcc=50, n_filters=40)
+
+
+def test_mfcc_deterministic():
+    signal = tone(300.0, 0.3, RATE)
+    np.testing.assert_array_equal(mfcc(signal, RATE), mfcc(signal, RATE))

@@ -1,0 +1,54 @@
+"""Quartile spectral statistics."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone, white_noise
+from repro.dsp.quantiles import spectral_quartile_profile
+from repro.errors import ConfigurationError, SignalError
+
+RATE = 200.0
+
+
+def test_profile_shape():
+    signals = [white_noise(0.5, RATE, rng=i) for i in range(5)]
+    freqs, profile = spectral_quartile_profile(signals, RATE, 128)
+    assert freqs.size == 65
+    assert profile.shape == freqs.shape
+
+
+def test_profile_peaks_at_shared_tone():
+    signals = [
+        tone(40.0, 0.64, RATE) + white_noise(0.64, RATE, 0.01, rng=i)
+        for i in range(8)
+    ]
+    freqs, profile = spectral_quartile_profile(signals, RATE, 128)
+    assert freqs[np.argmax(profile)] == pytest.approx(40.0, abs=2.0)
+
+
+def test_quantile_ordering():
+    signals = [white_noise(0.64, RATE, rng=i) for i in range(12)]
+    _, q25 = spectral_quartile_profile(signals, RATE, 128, quantile=0.25)
+    _, q75 = spectral_quartile_profile(signals, RATE, 128, quantile=0.75)
+    assert np.all(q75 >= q25)
+
+
+def test_rejects_empty_population():
+    with pytest.raises(SignalError):
+        spectral_quartile_profile([], RATE, 128)
+
+
+@pytest.mark.parametrize("quantile", [0.0, 1.0, -0.5, 1.5])
+def test_rejects_invalid_quantile(quantile):
+    with pytest.raises(ConfigurationError):
+        spectral_quartile_profile(
+            [white_noise(0.1, RATE, rng=0)], RATE, 64, quantile=quantile
+        )
+
+
+def test_louder_population_has_higher_profile():
+    quiet = [white_noise(0.64, RATE, 0.01, rng=i) for i in range(6)]
+    loud = [white_noise(0.64, RATE, 0.1, rng=i) for i in range(6)]
+    _, q_quiet = spectral_quartile_profile(quiet, RATE, 128)
+    _, q_loud = spectral_quartile_profile(loud, RATE, 128)
+    assert q_loud.mean() > 5 * q_quiet.mean()

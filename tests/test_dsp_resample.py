@@ -1,0 +1,71 @@
+"""Aliasing decimation and clean resampling."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone
+from repro.dsp.resample import (
+    alias_decimate,
+    folded_frequency,
+    resample_poly_safe,
+)
+from repro.dsp.spectrum import fft_magnitude
+from repro.errors import ConfigurationError, SignalError
+
+
+def test_alias_decimate_length():
+    signal = np.arange(800, dtype=float)
+    out = alias_decimate(signal, 16_000.0, 200.0)
+    assert out.size == 10
+    np.testing.assert_array_equal(out, signal[::80])
+
+
+def test_alias_decimate_rejects_non_integer_ratio():
+    with pytest.raises(ConfigurationError):
+        alias_decimate(np.ones(100), 1000.0, 300.0)
+
+
+def test_alias_decimate_rejects_upsampling():
+    with pytest.raises(ConfigurationError):
+        alias_decimate(np.ones(100), 100.0, 200.0)
+
+
+def test_aliasing_folds_high_frequency():
+    # 1250 Hz sampled at 200 Hz folds to |1250 - 6*200| = 50 Hz.
+    signal = tone(1250.0, 2.0, 16_000.0)
+    vibration = alias_decimate(signal, 16_000.0, 200.0)
+    freqs, mags = fft_magnitude(vibration, 200.0)
+    assert freqs[np.argmax(mags)] == pytest.approx(50.0, abs=1.0)
+
+
+@pytest.mark.parametrize(
+    "frequency,expected",
+    [(50.0, 50.0), (150.0, 50.0), (250.0, 50.0), (1250.0, 50.0),
+     (100.0, 100.0), (200.0, 0.0), (330.0, 70.0)],
+)
+def test_folded_frequency(frequency, expected):
+    assert folded_frequency(frequency, 200.0) == pytest.approx(expected)
+
+
+def test_resample_poly_preserves_tone():
+    signal = tone(50.0, 1.0, 1000.0)
+    out = resample_poly_safe(signal, 1000.0, 500.0)
+    freqs, mags = fft_magnitude(out, 500.0)
+    assert freqs[np.argmax(mags)] == pytest.approx(50.0, abs=2.0)
+    assert out.size == pytest.approx(signal.size // 2, abs=2)
+
+
+def test_resample_rejects_too_short():
+    with pytest.raises(SignalError):
+        resample_poly_safe(np.ones(1), 100.0, 50.0)
+
+
+def test_antialiased_resampling_suppresses_folding():
+    # 180 Hz at input rate 1000 -> output 200 Hz: must be removed, not
+    # folded to 20 Hz.
+    signal = tone(180.0, 2.0, 1000.0)
+    clean = resample_poly_safe(signal, 1000.0, 200.0)
+    _, mags = fft_magnitude(clean, 200.0)
+    aliased = alias_decimate(signal, 1000.0, 200.0)
+    _, mags_aliased = fft_magnitude(aliased, 200.0)
+    assert mags.max() < 0.2 * mags_aliased.max()

@@ -1,0 +1,88 @@
+"""FFT magnitude, PSD, band energies."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone, white_noise
+from repro.dsp.spectrum import (
+    band_energy,
+    band_energy_ratio,
+    fft_frequencies,
+    fft_magnitude,
+    mean_fft_magnitude,
+    power_spectral_density,
+)
+from repro.errors import ConfigurationError, SignalError
+
+RATE = 1000.0
+
+
+def test_fft_frequencies_span():
+    freqs = fft_frequencies(100, RATE)
+    assert freqs[0] == 0.0
+    assert freqs[-1] == pytest.approx(RATE / 2)
+
+
+def test_fft_magnitude_of_sinusoid_peaks_at_its_frequency():
+    signal = tone(100.0, 1.0, RATE, amplitude=2.0)
+    freqs, mags = fft_magnitude(signal, RATE)
+    assert freqs[np.argmax(mags)] == pytest.approx(100.0, abs=1.0)
+
+
+def test_fft_magnitude_amplitude_calibration():
+    # A unit sinusoid should give magnitude ~1 at its bin.
+    signal = tone(100.0, 1.0, RATE, amplitude=1.0)
+    _, mags = fft_magnitude(signal, RATE)
+    assert mags.max() == pytest.approx(1.0, rel=0.05)
+
+
+def test_fft_magnitude_rejects_empty():
+    with pytest.raises(SignalError):
+        fft_magnitude(np.array([]), RATE)
+
+
+def test_mean_fft_magnitude_averages():
+    signals = [tone(50.0, 0.5, RATE) for _ in range(3)]
+    freqs, mean_mag = mean_fft_magnitude(signals, RATE, n_fft=512)
+    _, single = fft_magnitude(signals[0][:512], RATE, n_fft=512)
+    assert mean_mag.shape == single.shape
+    assert freqs[np.argmax(mean_mag)] == pytest.approx(50.0, abs=2.0)
+
+
+def test_mean_fft_magnitude_rejects_empty_population():
+    with pytest.raises(SignalError):
+        mean_fft_magnitude([], RATE, 128)
+
+
+def test_psd_parseval():
+    signal = white_noise(1.0, RATE, amplitude=1.0, rng=0)
+    _, psd = power_spectral_density(signal, RATE)
+    # Integral of one-sided PSD over frequency ~ signal variance.
+    df = RATE / signal.size
+    assert psd.sum() * df == pytest.approx(np.var(signal), rel=0.05)
+
+
+def test_band_energy_concentrated_for_tone():
+    signal = tone(200.0, 1.0, RATE)
+    inside = band_energy(signal, RATE, 150.0, 250.0)
+    outside = band_energy(signal, RATE, 300.0, 450.0)
+    assert inside > 100 * outside
+
+
+def test_band_energy_invalid_band():
+    with pytest.raises(ConfigurationError):
+        band_energy(tone(100.0, 0.1, RATE), RATE, 200.0, 100.0)
+
+
+def test_band_energy_ratio_tone_above_split():
+    signal = tone(400.0, 1.0, RATE)
+    assert band_energy_ratio(signal, RATE, 300.0) > 0.95
+
+
+def test_band_energy_ratio_tone_below_split():
+    signal = tone(100.0, 1.0, RATE)
+    assert band_energy_ratio(signal, RATE, 300.0) < 0.05
+
+
+def test_band_energy_ratio_of_silence_is_zero():
+    assert band_energy_ratio(np.zeros(256) + 0.0, RATE, 100.0) == 0.0

@@ -1,0 +1,68 @@
+"""STFT and spectrogram operations."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone
+from repro.dsp.stft import (
+    crop_low_frequency_bins,
+    power_spectrogram,
+    stft,
+    stft_frequencies,
+    stft_times,
+)
+from repro.errors import ConfigurationError
+
+RATE = 200.0
+
+
+def test_stft_shape():
+    signal = tone(30.0, 2.0, RATE)
+    transform = stft(signal, n_fft=64, hop_length=32)
+    assert transform.shape[0] == 33  # 64 // 2 + 1 bins
+
+
+def test_power_spectrogram_nonnegative():
+    signal = tone(30.0, 2.0, RATE)
+    spec = power_spectrogram(signal, n_fft=64, hop_length=32)
+    assert np.all(spec >= 0)
+
+
+def test_spectrogram_peak_at_tone_frequency():
+    signal = tone(40.0, 2.0, RATE)
+    spec = power_spectrogram(signal, n_fft=64, hop_length=32)
+    freqs = stft_frequencies(64, RATE)
+    peak_bin = np.argmax(spec.mean(axis=1))
+    assert freqs[peak_bin] == pytest.approx(40.0, abs=RATE / 64)
+
+
+def test_stft_frequencies_range():
+    freqs = stft_frequencies(64, RATE)
+    assert freqs[0] == 0.0
+    assert freqs[-1] == pytest.approx(RATE / 2)
+
+
+def test_stft_times_spacing():
+    times = stft_times(5, 32, RATE)
+    assert times.shape == (5,)
+    assert times[1] - times[0] == pytest.approx(32 / RATE)
+
+
+def test_crop_low_frequency_bins():
+    signal = tone(40.0, 2.0, RATE)
+    spec = power_spectrogram(signal, n_fft=64, hop_length=32)
+    cropped, freqs = crop_low_frequency_bins(spec, 64, RATE, 5.0)
+    assert np.all(freqs > 5.0)
+    assert cropped.shape[0] == freqs.size
+    assert cropped.shape[0] < spec.shape[0]
+
+
+def test_crop_rejects_mismatched_bins():
+    with pytest.raises(ConfigurationError):
+        crop_low_frequency_bins(np.zeros((10, 4)), 64, RATE, 5.0)
+
+
+@pytest.mark.parametrize("n_fft,hop", [(0, 32), (64, 0)])
+def test_stft_invalid_params(n_fft, hop):
+    with pytest.raises(ConfigurationError):
+        stft(tone(30.0, 1.0, RATE), n_fft=n_fft, hop_length=hop)

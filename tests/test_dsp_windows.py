@@ -1,0 +1,70 @@
+"""Window functions and framing."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import frame_signal, get_window
+from repro.errors import ConfigurationError, SignalError
+
+
+@pytest.mark.parametrize("name", ["hann", "hamming", "rect", "blackman"])
+def test_window_length(name):
+    window = get_window(name, 32)
+    assert window.shape == (32,)
+
+
+def test_rect_window_is_ones():
+    np.testing.assert_array_equal(get_window("rect", 5), np.ones(5))
+
+
+def test_unknown_window_raises():
+    with pytest.raises(ConfigurationError):
+        get_window("kaiser", 8)
+
+
+def test_zero_length_window_raises():
+    with pytest.raises(ConfigurationError):
+        get_window("hann", 0)
+
+
+def test_frame_signal_shapes():
+    frames = frame_signal(np.arange(100, dtype=float), 10, 5)
+    assert frames.shape[1] == 10
+    # 100 samples, frame 10, hop 5 -> 1 + ceil(90/5) = 19 frames
+    assert frames.shape[0] == 19
+
+
+def test_frame_signal_content():
+    frames = frame_signal(np.arange(20, dtype=float), 4, 2,
+                          pad_final=False)
+    np.testing.assert_array_equal(frames[0], [0, 1, 2, 3])
+    np.testing.assert_array_equal(frames[1], [2, 3, 4, 5])
+
+
+def test_frame_signal_pads_final_frame():
+    frames = frame_signal(np.ones(7), 4, 4, pad_final=True)
+    assert frames.shape == (2, 4)
+    np.testing.assert_array_equal(frames[1], [1, 1, 1, 0])
+
+
+def test_frame_signal_drop_final():
+    frames = frame_signal(np.ones(7), 4, 4, pad_final=False)
+    assert frames.shape == (1, 4)
+
+
+def test_short_signal_padded_to_one_frame():
+    frames = frame_signal(np.ones(3), 8, 4)
+    assert frames.shape == (1, 8)
+    assert frames[0, :3].sum() == 3.0
+    assert frames[0, 3:].sum() == 0.0
+
+
+def test_short_signal_raises_without_padding():
+    with pytest.raises(SignalError):
+        frame_signal(np.ones(3), 8, 4, pad_final=False)
+
+
+@pytest.mark.parametrize("frame,hop", [(0, 1), (4, 0), (-1, 2)])
+def test_invalid_framing_params(frame, hop):
+    with pytest.raises(ConfigurationError):
+        frame_signal(np.ones(16), frame, hop)

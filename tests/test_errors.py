@@ -1,0 +1,37 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    ModelError,
+    ProtocolError,
+    ReproError,
+    SignalError,
+    SynthesisError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    SignalError,
+    SynthesisError,
+    ModelError,
+    ProtocolError,
+    CalibrationError,
+]
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_all_errors_derive_from_repro_error(error_cls):
+    assert issubclass(error_cls, ReproError)
+
+
+@pytest.mark.parametrize("error_cls", ALL_ERRORS)
+def test_errors_are_catchable_as_repro_error(error_cls):
+    with pytest.raises(ReproError):
+        raise error_cls("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)

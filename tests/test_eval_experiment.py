@@ -1,0 +1,99 @@
+"""Experiment-runner plumbing (fast paths + one tiny sweep)."""
+
+import pytest
+
+from repro.attacks.base import AttackKind
+from repro.errors import ConfigurationError
+from repro.eval.campaign import (
+    CampaignConfig,
+    DetectorBank,
+    FULL_SYSTEM,
+)
+from repro.eval.experiment import run_attack_experiment, run_factor_sweep
+from repro.eval.participants import ParticipantPool
+from repro.eval.rooms import ROOM_A
+
+
+class TestDetectorBank:
+    def test_full_bank_names(self):
+        bank = DetectorBank(segmenter=None)
+        assert bank.detector_names == [
+            "full_system", "vibration_baseline", "audio_baseline"
+        ]
+
+    def test_no_baselines(self):
+        bank = DetectorBank(segmenter=None, include_baselines=False)
+        assert bank.detector_names == ["full_system"]
+        assert bank.vibration_baseline is None
+
+
+class TestFactorSweepValidation:
+    def test_unknown_factor(self):
+        with pytest.raises(ConfigurationError):
+            run_factor_sweep(
+                "humidity", [1.0], [AttackKind.REPLAY],
+                pool=ParticipantPool(n_participants=2, seed=0),
+                detectors=DetectorBank(
+                    segmenter=None, include_baselines=False
+                ),
+            )
+
+    def test_material_sweep_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            run_factor_sweep(
+                "barrier_material", ["glass"], [AttackKind.REPLAY],
+                pool=ParticipantPool(n_participants=2, seed=0),
+                detectors=DetectorBank(
+                    segmenter=None, include_baselines=False
+                ),
+            )
+
+    def test_room_sweep_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            run_factor_sweep(
+                "room", ["Room A"], [AttackKind.REPLAY],
+                pool=ParticipantPool(n_participants=2, seed=0),
+                detectors=DetectorBank(
+                    segmenter=None, include_baselines=False
+                ),
+            )
+
+
+@pytest.mark.slow
+class TestTinyExperiment:
+    def test_attack_experiment_roc_accessible(self):
+        config = CampaignConfig(
+            n_commands_per_participant=2, n_attacks_per_kind=2, seed=1
+        )
+        result = run_attack_experiment(
+            AttackKind.REPLAY,
+            rooms=[ROOM_A],
+            config=config,
+            pool=ParticipantPool(n_participants=4, seed=2),
+            detectors=DetectorBank(
+                segmenter=None, include_baselines=False
+            ),
+        )
+        assert FULL_SYSTEM in result.metrics
+        fdr, tdr = result.roc(FULL_SYSTEM)
+        assert fdr.shape == tdr.shape
+        assert result.metrics[FULL_SYSTEM].auc >= 0.5
+
+    def test_tiny_volume_sweep(self):
+        config = CampaignConfig(
+            n_commands_per_participant=1, n_attacks_per_kind=1, seed=3
+        )
+        results = run_factor_sweep(
+            "attack_spl",
+            [75.0],
+            [AttackKind.REPLAY],
+            base_config=config,
+            rooms=[ROOM_A],
+            pool=ParticipantPool(n_participants=2, seed=4),
+            detectors=DetectorBank(
+                segmenter=None, include_baselines=False
+            ),
+        )
+        assert "75dB" in results
+        metrics = results["75dB"][AttackKind.REPLAY][FULL_SYSTEM]
+        assert 0.0 <= metrics.eer <= 1.0

@@ -1,0 +1,90 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.eval.stats import (
+    BootstrapEstimate,
+    bootstrap_auc,
+    bootstrap_eer,
+    bootstrap_metric,
+)
+
+
+@pytest.fixture()
+def scores(rng):
+    legit = rng.normal(0.7, 0.1, 60)
+    attack = rng.normal(0.3, 0.1, 60)
+    return legit, attack
+
+
+def test_auc_ci_contains_point(scores):
+    estimate = bootstrap_auc(*scores, n_bootstrap=200, rng=0)
+    assert estimate.low <= estimate.value <= estimate.high
+    assert 0.0 <= estimate.low <= estimate.high <= 1.0
+
+
+def test_eer_ci_contains_point(scores):
+    estimate = bootstrap_eer(*scores, n_bootstrap=200, rng=1)
+    assert estimate.low <= estimate.value <= estimate.high
+
+
+def test_more_data_tighter_interval(rng):
+    def width(n):
+        legit = rng.normal(0.65, 0.1, n)
+        attack = rng.normal(0.35, 0.1, n)
+        estimate = bootstrap_auc(
+            legit, attack, n_bootstrap=200, rng=2
+        )
+        return estimate.high - estimate.low
+
+    assert width(400) < width(20)
+
+
+def test_separable_scores_give_degenerate_interval(rng):
+    legit = rng.normal(10.0, 0.1, 40)
+    attack = rng.normal(-10.0, 0.1, 40)
+    estimate = bootstrap_auc(legit, attack, n_bootstrap=100, rng=3)
+    assert estimate.value == 1.0
+    assert estimate.low == 1.0
+
+
+def test_deterministic_given_seed(scores):
+    a = bootstrap_auc(*scores, n_bootstrap=100, rng=4)
+    b = bootstrap_auc(*scores, n_bootstrap=100, rng=4)
+    assert a == b
+
+
+def test_report_string(scores):
+    estimate = bootstrap_auc(*scores, n_bootstrap=50, rng=5)
+    assert "CI" in str(estimate)
+    assert isinstance(estimate, BootstrapEstimate)
+
+
+def test_custom_metric(scores):
+    legit, attack = scores
+    estimate = bootstrap_metric(
+        legit, attack,
+        lambda l, a: float(np.mean(l) - np.mean(a)),
+        n_bootstrap=100, rng=6,
+    )
+    assert estimate.value == pytest.approx(0.4, abs=0.1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n_bootstrap": 0},
+        {"confidence": 0.0},
+        {"confidence": 1.0},
+    ],
+)
+def test_invalid_parameters(scores, kwargs):
+    with pytest.raises(CalibrationError):
+        bootstrap_auc(*scores, **kwargs)
+
+
+def test_empty_scores_rejected():
+    with pytest.raises(CalibrationError):
+        bootstrap_auc([], [0.1])

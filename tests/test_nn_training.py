@@ -1,0 +1,143 @@
+"""Losses, optimizer, model container, batching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.nn.adam import Adam
+from repro.nn.data import iterate_minibatches, pad_sequences
+from repro.nn.losses import softmax, softmax_cross_entropy
+from repro.nn.model import SequenceClassifier
+
+
+class TestLosses:
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.standard_normal((3, 4, 5))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([1000.0, 1000.0]))
+        np.testing.assert_allclose(probs, [0.5, 0.5])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-6)
+
+    def test_cross_entropy_gradient_check(self, rng):
+        logits = rng.standard_normal((2, 3))
+        labels = np.array([1, 2])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        logits_p = logits.copy()
+        logits_p[0, 1] += eps
+        loss_p, _ = softmax_cross_entropy(logits_p, labels)
+        logits_p[0, 1] -= 2 * eps
+        loss_m, _ = softmax_cross_entropy(logits_p, labels)
+        numeric = (loss_p - loss_m) / (2 * eps)
+        assert numeric == pytest.approx(grad[0, 1], rel=1e-5)
+
+    def test_cross_entropy_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.zeros((3,),
+                                                             dtype=int))
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        params = {"x": np.array([5.0])}
+        adam = Adam(learning_rate=0.1)
+        for _ in range(200):
+            grads = {"x": 2 * params["x"]}
+            adam.update(params, grads)
+        assert abs(params["x"][0]) < 0.1
+
+    def test_updates_in_place(self):
+        params = {"x": np.ones(3)}
+        reference = params["x"]
+        Adam(learning_rate=0.1).update(params, {"x": np.ones(3)})
+        assert params["x"] is reference
+
+    def test_rejects_mismatched_keys(self):
+        with pytest.raises(ConfigurationError):
+            Adam().update({"a": np.ones(1)}, {"b": np.ones(1)})
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=0.0)
+
+
+class TestBatching:
+    def test_pad_sequences_shapes(self):
+        x, y, mask = pad_sequences(
+            [np.ones((3, 2)), np.ones((5, 2))],
+            [np.ones(3, dtype=int), np.ones(5, dtype=int)],
+        )
+        assert x.shape == (2, 5, 2)
+        assert y.shape == (2, 5)
+        assert mask[0].sum() == 3
+        assert mask[1].sum() == 5
+
+    def test_pad_rejects_length_mismatch(self):
+        with pytest.raises(ModelError):
+            pad_sequences([np.ones((3, 2))], [np.ones(4, dtype=int)])
+
+    def test_minibatches_cover_all(self):
+        sequences = [np.ones((i + 1, 2)) for i in range(10)]
+        labels = [np.zeros(i + 1, dtype=int) for i in range(10)]
+        seen = 0
+        for x, y, mask in iterate_minibatches(sequences, labels, 3,
+                                              rng=0):
+            seen += x.shape[0]
+        assert seen == 10
+
+    def test_minibatch_buckets_by_length(self):
+        sequences = [np.ones((n, 1)) for n in (1, 50, 2, 49)]
+        labels = [np.zeros(n, dtype=int) for n in (1, 50, 2, 49)]
+        batches = list(iterate_minibatches(sequences, labels, 2, rng=0))
+        sizes = sorted(batch[0].shape[1] for batch in batches)
+        # Short pair padded to 2, long pair padded to 50.
+        assert sizes == [2, 50]
+
+
+class TestSequenceClassifier:
+    def test_predict_shapes(self):
+        model = SequenceClassifier(input_dim=3, hidden_dim=4, rng=0)
+        x = np.zeros((2, 6, 3))
+        assert model.predict_proba(x).shape == (2, 6, 2)
+        assert model.predict(x).shape == (2, 6)
+
+    def test_learns_separable_task(self, rng):
+        model = SequenceClassifier(input_dim=2, hidden_dim=6, rng=1)
+        sequences = [rng.standard_normal((8, 2)) for _ in range(24)]
+        labels = [(s[:, 0] > 0).astype(int) for s in sequences]
+        model.fit(sequences, labels, epochs=25, batch_size=6,
+                  learning_rate=0.02, rng=2)
+        accuracy = np.mean(
+            [
+                (model.predict(s[None])[0] == l).mean()
+                for s, l in zip(sequences, labels)
+            ]
+        )
+        assert accuracy > 0.9
+
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        model = SequenceClassifier(input_dim=3, hidden_dim=4, rng=3)
+        x = rng.standard_normal((1, 5, 3))
+        expected = model.predict_proba(x)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        restored = SequenceClassifier.load(path)
+        np.testing.assert_allclose(
+            restored.predict_proba(x), expected, atol=1e-12
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ModelError):
+            SequenceClassifier.load(tmp_path / "nope.npz")
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ModelError):
+            SequenceClassifier(input_dim=3, n_classes=1)

@@ -1,0 +1,86 @@
+"""VA command corpus and phonemizer (Table II)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phonemes.commands import (
+    LEXICON,
+    PAPER_TABLE2_COUNTS,
+    VA_COMMANDS,
+    command_phoneme_counts,
+    common_phonemes_from_corpus,
+    phonemize,
+)
+from repro.phonemes.inventory import COMMON_PHONEMES, PHONEME_INVENTORY
+
+
+def test_lexicon_symbols_valid():
+    for word, symbols in LEXICON.items():
+        for symbol in symbols:
+            assert symbol in PHONEME_INVENTORY, (word, symbol)
+
+
+def test_all_commands_phonemizable():
+    for command in VA_COMMANDS:
+        sequence = phonemize(command)
+        assert len(sequence) > 3
+
+
+def test_phonemize_inserts_word_pauses():
+    sequence = phonemize("ok google")
+    assert "sp" in sequence
+
+
+def test_phonemize_rejects_unknown_word():
+    with pytest.raises(ConfigurationError, match="lexicon"):
+        phonemize("ok zorp")
+
+
+def test_phonemize_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        phonemize("   ")
+
+
+def test_counts_exclude_pauses():
+    counts = command_phoneme_counts()
+    assert "sp" not in counts
+    assert "sil" not in counts
+
+
+def test_corpus_covers_exactly_the_37_common_phonemes():
+    counts = command_phoneme_counts()
+    assert set(counts) == set(COMMON_PHONEMES)
+
+
+def test_paper_table2_reference():
+    assert PAPER_TABLE2_COUNTS["t"] == 129
+    assert PAPER_TABLE2_COUNTS["uh"] == 6
+    assert len(PAPER_TABLE2_COUNTS) == 37
+
+
+def test_common_phonemes_from_corpus_top_k():
+    top5 = common_phonemes_from_corpus(top_k=5)
+    assert len(top5) == 5
+    counts = command_phoneme_counts()
+    assert counts[top5[0]] == max(counts.values())
+
+
+def test_corpus_frequency_correlates_with_paper():
+    # Rank agreement between our corpus counts and Table II.
+    counts = command_phoneme_counts()
+    shared = sorted(set(counts) & set(PAPER_TABLE2_COUNTS))
+    ours = [counts[s] for s in shared]
+    paper = [PAPER_TABLE2_COUNTS[s] for s in shared]
+    import numpy as np
+
+    ours_rank = np.argsort(np.argsort(ours))
+    paper_rank = np.argsort(np.argsort(paper))
+    rho = np.corrcoef(ours_rank, paper_rank)[0, 1]
+    assert rho > 0.5
+
+
+def test_wake_words_present():
+    lowered = [command.lower() for command in VA_COMMANDS]
+    assert any("ok google" in command for command in lowered)
+    assert any("alexa" in command for command in lowered)
+    assert any("hey siri" in command for command in lowered)

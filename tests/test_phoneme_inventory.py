@@ -1,0 +1,104 @@
+"""Phoneme inventory contracts."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phonemes.inventory import (
+    COMMON_PHONEMES,
+    PAPER_EXCLUDED_PHONEMES,
+    PAPER_SELECTED_PHONEMES,
+    PHONEME_INVENTORY,
+    PhonemeClass,
+    get_phoneme,
+    phoneme_symbols,
+)
+
+
+def test_inventory_has_63_symbols():
+    assert len(PHONEME_INVENTORY) == 63
+
+
+def test_common_phonemes_are_37():
+    assert len(COMMON_PHONEMES) == 37
+
+
+def test_selected_phonemes_are_31():
+    assert len(PAPER_SELECTED_PHONEMES) == 31
+
+
+def test_excluded_set_matches_paper_examples():
+    # The paper names /s/, /z/ (weak) and /aa/, /ao/ (too loud).
+    assert {"s", "z", "aa", "ao"} <= PAPER_EXCLUDED_PHONEMES
+
+
+def test_selected_and_excluded_partition_common():
+    assert PAPER_SELECTED_PHONEMES | PAPER_EXCLUDED_PHONEMES == set(
+        COMMON_PHONEMES
+    )
+    assert not PAPER_SELECTED_PHONEMES & PAPER_EXCLUDED_PHONEMES
+
+
+def test_common_phonemes_exist_in_inventory():
+    for symbol in COMMON_PHONEMES:
+        assert symbol in PHONEME_INVENTORY
+
+
+def test_table2_counts_are_descending_for_top_entries():
+    counts = list(COMMON_PHONEMES.values())
+    assert counts[0] == 129  # /t/
+    assert COMMON_PHONEMES["uh"] == 6
+
+
+def test_get_phoneme_known():
+    assert get_phoneme("ae").symbol == "ae"
+
+
+def test_get_phoneme_unknown_raises():
+    with pytest.raises(ConfigurationError, match="unknown phoneme"):
+        get_phoneme("xx")
+
+
+def test_weak_fricatives_are_quiet():
+    for symbol in ("s", "z", "sh", "th"):
+        assert get_phoneme(symbol).intensity_db <= -20.0
+
+
+def test_loud_vowels_are_loud():
+    for symbol in ("aa", "ao"):
+        assert get_phoneme(symbol).intensity_db >= 8.0
+    for symbol in ("iy", "eh", "ih", "uw"):
+        assert get_phoneme(symbol).intensity_db < 5.0
+
+
+def test_silences_do_not_sound():
+    for symbol in ("pau", "h#", "sil", "sp", "bcl", "tcl"):
+        assert not get_phoneme(symbol).is_sounding
+
+
+def test_phoneme_symbols_sounding_filter():
+    all_symbols = phoneme_symbols()
+    sounding = phoneme_symbols(sounding_only=True)
+    assert len(sounding) < len(all_symbols)
+    assert "sp" not in sounding
+    assert "ae" in sounding
+
+
+def test_vowels_have_three_or_more_formants():
+    for symbol in ("iy", "ae", "uw", "er"):
+        phoneme = get_phoneme(symbol)
+        assert phoneme.klass is PhonemeClass.VOWEL
+        assert len(phoneme.formants) >= 3
+
+
+def test_formant_arrays_consistent():
+    for phoneme in PHONEME_INVENTORY.values():
+        assert len(phoneme.formants) == len(phoneme.formant_bandwidths)
+        assert len(phoneme.formants) == len(phoneme.formant_gains)
+
+
+def test_fricatives_have_noise_bands():
+    for symbol in ("s", "sh", "f", "v"):
+        phoneme = get_phoneme(symbol)
+        assert phoneme.noise_band is not None
+        low, high = phoneme.noise_band
+        assert low < high

@@ -1,0 +1,69 @@
+"""Speaker models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phonemes.speaker import SpeakerProfile, generate_speakers
+
+
+def test_generate_alternates_genders():
+    speakers = generate_speakers(6, rng=0)
+    genders = [speaker.gender for speaker in speakers]
+    assert genders == ["male", "female"] * 3
+
+
+def test_generated_f0_ranges():
+    speakers = generate_speakers(20, rng=1)
+    for speaker in speakers:
+        if speaker.gender == "male":
+            assert 95.0 <= speaker.f0_hz <= 145.0
+        else:
+            assert 175.0 <= speaker.f0_hz <= 245.0
+
+
+def test_female_formant_scale_higher():
+    speakers = generate_speakers(20, rng=2)
+    male_scale = max(
+        s.formant_scale for s in speakers if s.gender == "male"
+    )
+    female_scale = min(
+        s.formant_scale for s in speakers if s.gender == "female"
+    )
+    assert female_scale > male_scale
+
+
+def test_speaker_ids_unique():
+    speakers = generate_speakers(10, rng=3)
+    ids = {speaker.speaker_id for speaker in speakers}
+    assert len(ids) == 10
+
+
+def test_generation_deterministic():
+    a = generate_speakers(4, rng=9)
+    b = generate_speakers(4, rng=9)
+    assert a == b
+
+
+def test_zero_speakers_rejected():
+    with pytest.raises(ConfigurationError):
+        generate_speakers(0)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"gender": "other"},
+        {"f0_hz": 20.0},
+        {"f0_hz": 900.0},
+        {"formant_scale": 0.2},
+        {"dialect_region": 0},
+        {"dialect_region": 9},
+    ],
+)
+def test_invalid_profiles_rejected(kwargs):
+    base = dict(
+        speaker_id="X", gender="male", f0_hz=120.0, formant_scale=1.0
+    )
+    base.update(kwargs)
+    with pytest.raises(ConfigurationError):
+        SpeakerProfile(**base)

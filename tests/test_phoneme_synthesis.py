@@ -1,0 +1,116 @@
+"""Source-filter synthesis behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import band_energy, fft_magnitude
+from repro.phonemes.inventory import get_phoneme
+from repro.phonemes.synthesis import (
+    PhonemeSynthesizer,
+    spectral_envelope,
+)
+
+RATE = 16_000.0
+
+
+@pytest.fixture(scope="module")
+def synth():
+    return PhonemeSynthesizer()
+
+
+def _rms(x):
+    return float(np.sqrt(np.mean(x**2)))
+
+
+def test_vowel_duration_matches_request(synth, male_speaker):
+    sound = synth.synthesize("ae", male_speaker, duration_s=0.2, rng=0)
+    assert sound.size == pytest.approx(0.2 * RATE, abs=8)
+
+
+def test_vowel_has_harmonic_peak_at_f0(synth, male_speaker):
+    sound = synth.synthesize("ae", male_speaker, duration_s=0.5, rng=1)
+    freqs, mags = fft_magnitude(sound, RATE)
+    voiced_band = (freqs > 60) & (freqs < 400)
+    peak = freqs[voiced_band][np.argmax(mags[voiced_band])]
+    # Peak should be near a harmonic of the speaker's F0.
+    ratio = peak / male_speaker.f0_hz
+    assert abs(ratio - round(ratio)) < 0.15
+
+
+def test_female_voice_higher_pitch(synth, male_speaker, female_speaker):
+    def pitch(speaker):
+        sound = synth.synthesize("aa", speaker, duration_s=0.5, rng=2)
+        freqs, mags = fft_magnitude(sound, RATE)
+        band = (freqs > 60) & (freqs < 300)
+        return freqs[band][np.argmax(mags[band])]
+
+    assert pitch(female_speaker) > pitch(male_speaker)
+
+
+def test_fricative_energy_in_noise_band(synth, male_speaker):
+    sound = synth.synthesize("s", male_speaker, duration_s=0.3, rng=3)
+    high = band_energy(sound, RATE, 4000.0, 7500.0)
+    low = band_energy(sound, RATE, 100.0, 1000.0)
+    assert high > 10 * low
+
+
+def test_weak_phonemes_are_quieter_than_vowels(synth, male_speaker):
+    vowel = synth.synthesize("ae", male_speaker, duration_s=0.3, rng=4)
+    weak = synth.synthesize("s", male_speaker, duration_s=0.3, rng=4)
+    assert _rms(weak) < 0.2 * _rms(vowel)
+
+
+def test_loud_vowels_are_louder(synth, male_speaker):
+    loud = synth.synthesize("aa", male_speaker, duration_s=0.3, rng=5)
+    normal = synth.synthesize("ih", male_speaker, duration_s=0.3, rng=5)
+    assert _rms(loud) > 1.5 * _rms(normal)
+
+
+def test_silence_phonemes_near_zero(synth, male_speaker):
+    sound = synth.synthesize("sp", male_speaker, duration_s=0.1, rng=6)
+    assert _rms(sound) < 1e-4
+
+
+def test_stop_has_burst_envelope(synth, male_speaker):
+    sound = synth.synthesize("t", male_speaker, duration_s=0.06, rng=7)
+    first_half = _rms(sound[: sound.size // 2])
+    second_half = _rms(sound[sound.size // 2 :])
+    assert first_half > 1.5 * second_half
+
+
+def test_output_is_finite(synth, speakers):
+    for speaker in speakers:
+        for symbol in ("ae", "s", "t", "m", "hh", "jh"):
+            sound = synth.synthesize(symbol, speaker, rng=8)
+            assert np.all(np.isfinite(sound))
+
+
+def test_spectral_envelope_peaks_at_formants(male_speaker):
+    phoneme = get_phoneme("ae")
+    freqs = np.linspace(50, 4000, 2000)
+    envelope = spectral_envelope(phoneme, male_speaker, freqs)
+    f1 = phoneme.formants[0] * male_speaker.formant_scale
+    peak_freq = freqs[np.argmax(envelope)]
+    assert peak_freq == pytest.approx(f1, rel=0.1)
+
+
+def test_spectral_envelope_scales_with_speaker(female_speaker,
+                                               male_speaker):
+    phoneme = get_phoneme("iy")
+    freqs = np.linspace(50, 4000, 4000)
+    env_m = spectral_envelope(phoneme, male_speaker, freqs)
+    env_f = spectral_envelope(phoneme, female_speaker, freqs)
+    # Female formants sit higher in frequency.
+    assert freqs[np.argmax(env_f)] > freqs[np.argmax(env_m)]
+
+
+def test_reproducible_given_seed(synth, male_speaker):
+    a = synth.synthesize("ae", male_speaker, duration_s=0.2, rng=42)
+    b = synth.synthesize("ae", male_speaker, duration_s=0.2, rng=42)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ(synth, male_speaker):
+    a = synth.synthesize("ae", male_speaker, duration_s=0.2, rng=1)
+    b = synth.synthesize("ae", male_speaker, duration_s=0.2, rng=2)
+    assert not np.allclose(a, b)

@@ -1,0 +1,107 @@
+"""Accelerometer model: aliasing, DC artifact, noise injection."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import silence, tone
+from repro.dsp.spectrum import fft_magnitude
+from repro.errors import ConfigurationError
+from repro.sensing.accelerometer import (
+    Accelerometer,
+    AccelerometerSpec,
+)
+
+AUDIO_RATE = 16_000.0
+
+
+def _sense(accel, field, drive, rng=0):
+    return accel.sense(field, AUDIO_RATE, drive_audio=drive, rng=rng)
+
+
+def test_output_rate():
+    accel = Accelerometer()
+    field = tone(1000.0, 1.0, AUDIO_RATE)
+    out = _sense(accel, field, field)
+    assert out.size == 200
+
+
+def test_aliasing_folds_content():
+    # A 1250 Hz vibration folds to 50 Hz at 200 Hz sampling.
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, low_freq_noise_coeff=0.0,
+        dc_sensitivity=0.0, lsb=0.0,
+    )
+    accel = Accelerometer(spec)
+    field = tone(1250.0, 2.0, AUDIO_RATE, amplitude=0.1)
+    out = _sense(accel, field, silence(2.0, AUDIO_RATE) + 0.0)
+    freqs, mags = fft_magnitude(out, 200.0)
+    assert freqs[np.argmax(mags)] == pytest.approx(50.0, abs=1.0)
+
+
+def test_dc_artifact_follows_envelope():
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, low_freq_noise_coeff=0.0,
+        dc_sensitivity=1.0, lsb=0.0,
+    )
+    accel = Accelerometer(spec)
+    drive = tone(1000.0, 2.0, AUDIO_RATE, amplitude=0.2)
+    out = _sense(accel, silence(2.0, AUDIO_RATE) + 0.0, drive)
+    # With no field, the output is the near-DC envelope artifact.
+    freqs, mags = fft_magnitude(out, 200.0)
+    low_band = mags[freqs <= 5.0].sum()
+    high_band = mags[freqs > 10.0].sum()
+    # Onset/offset transients of the envelope leak a little upward.
+    assert low_band > 1.5 * high_band
+
+
+def test_low_frequency_drive_injects_noise():
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, dc_sensitivity=0.0, lsb=0.0
+    )
+    accel = Accelerometer(spec)
+    field = silence(2.0, AUDIO_RATE) + 0.0
+    low_drive = tone(200.0, 2.0, AUDIO_RATE, amplitude=0.2)
+    high_drive = tone(3000.0, 2.0, AUDIO_RATE, amplitude=0.2)
+    noisy = _sense(accel, field, low_drive, rng=1)
+    quiet = _sense(accel, field, high_drive, rng=1)
+    assert np.std(noisy) > 5 * np.std(quiet)
+
+
+def test_noise_tracks_envelope_in_time():
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, dc_sensitivity=0.0, lsb=0.0
+    )
+    accel = Accelerometer(spec)
+    # Low-frequency drive present only in the second half.
+    half = tone(200.0, 1.0, AUDIO_RATE, amplitude=0.3)
+    drive = np.concatenate([np.zeros(half.size), half])
+    out = _sense(accel, np.zeros(drive.size), drive, rng=2)
+    first, second = out[: out.size // 2], out[out.size // 2 :]
+    assert np.std(second) > 5 * (np.std(first) + 1e-12)
+
+
+def test_quantization_applied():
+    spec = AccelerometerSpec(
+        base_noise_rms=0.0, low_freq_noise_coeff=0.0,
+        dc_sensitivity=0.0, lsb=1e-3,
+    )
+    accel = Accelerometer(spec)
+    field = tone(30.0, 1.0, AUDIO_RATE, amplitude=0.01)
+    out = _sense(accel, field, field)
+    steps = np.round(out / 1e-3)
+    np.testing.assert_allclose(out, steps * 1e-3, atol=1e-12)
+
+
+def test_noise_reproducible_with_seed():
+    accel = Accelerometer()
+    field = tone(1000.0, 1.0, AUDIO_RATE)
+    a = _sense(accel, field, field, rng=7)
+    b = _sense(accel, field, field, rng=7)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        AccelerometerSpec(base_noise_rms=-1.0)
+    with pytest.raises(ConfigurationError):
+        AccelerometerSpec(sample_rate=0.0)

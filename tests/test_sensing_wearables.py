@@ -1,0 +1,69 @@
+"""Named wearable profiles."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.generators import tone
+from repro.errors import ConfigurationError
+from repro.sensing.wearables import (
+    FOSSIL_GEN_5,
+    MOTO_360,
+    WEARABLES,
+    get_wearable,
+)
+
+
+def test_registry():
+    assert set(WEARABLES) == {"fossil_gen_5", "moto_360"}
+
+
+def test_get_wearable_unknown():
+    with pytest.raises(ConfigurationError):
+        get_wearable("apple_watch")
+
+
+def test_profiles_build_sensors():
+    for profile in WEARABLES.values():
+        sensor = profile.make_sensor()
+        assert sensor.vibration_rate == 200.0
+
+
+def test_both_devices_sample_at_200hz():
+    assert FOSSIL_GEN_5.accelerometer.sample_rate == 200.0
+    assert MOTO_360.accelerometer.sample_rate == 200.0
+
+
+def test_devices_differ_acoustically():
+    audio = tone(1500.0, 1.0, 16_000.0, amplitude=0.1)
+    fossil = FOSSIL_GEN_5.make_sensor().convert(audio, 16_000.0, rng=1)
+    moto = MOTO_360.make_sensor().convert(audio, 16_000.0, rng=1)
+    assert not np.allclose(fossil, moto)
+
+
+def test_detection_works_on_both_devices(corpus, room_config):
+    """The paper reports comparable performance on both wearables."""
+    from repro.attacks import AttackScenario, ReplayAttack
+    from repro.core.pipeline import DefensePipeline
+    from repro.phonemes.commands import phonemize
+
+    scenario = AttackScenario(room_config=room_config)
+    victim = corpus.speakers[0]
+    command = "alexa play my favorite playlist"
+    utterance = corpus.utterance(
+        phonemize(command), speaker=victim, rng=40
+    )
+    va_l, wear_l = scenario.legitimate_recordings(
+        utterance, spl_db=70.0, rng=41
+    )
+    attack = ReplayAttack(corpus, victim).generate(
+        command=command, rng=42
+    )
+    va_a, wear_a = scenario.attack_recordings(attack, spl_db=75.0,
+                                              rng=43)
+    for profile in (FOSSIL_GEN_5, MOTO_360):
+        pipeline = DefensePipeline(
+            segmenter=None, sensor=profile.make_sensor()
+        )
+        legit = pipeline.score(va_l, wear_l, rng=44)
+        attacked = pipeline.score(va_a, wear_a, rng=45)
+        assert legit > attacked + 0.2, profile.name

@@ -1,0 +1,160 @@
+"""Discrete-event substrate: clock, scheduler, network, protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.sim.events import EventScheduler, SimClock
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.protocol import run_synchronized_recording
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(start_s=2.0)
+        with pytest.raises(ProtocolError):
+            clock.advance_to(1.0)
+
+
+class TestScheduler:
+    def test_fires_in_time_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(2.0, lambda: fired.append("b"))
+        scheduler.schedule_at(1.0, lambda: fired.append("a"))
+        scheduler.schedule_at(3.0, lambda: fired.append("c"))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        scheduler = EventScheduler()
+        fired = []
+        for tag in "abc":
+            scheduler.schedule_at(1.0, lambda t=tag: fired.append(t))
+        scheduler.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_stops(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule_at(1.0, lambda: fired.append(1))
+        scheduler.schedule_at(5.0, lambda: fired.append(5))
+        scheduler.run(until_s=2.0)
+        assert fired == [1]
+        assert scheduler.clock.now == 2.0
+        assert scheduler.pending == 1
+
+    def test_events_can_schedule_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule_in(1.0, lambda: fired.append("second"))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.clock.now == pytest.approx(2.0)
+
+    def test_cannot_schedule_in_past(self):
+        scheduler = EventScheduler()
+        scheduler.clock.advance_to(5.0)
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+
+class TestNetwork:
+    def _make(self, **config):
+        scheduler = EventScheduler()
+        network = Network(scheduler, NetworkConfig(**config), rng=0)
+        return scheduler, network
+
+    def test_delivery_with_latency(self):
+        scheduler, network = self._make(
+            mean_delay_s=0.1, jitter_s=0.0, min_delay_s=0.1
+        )
+        received = []
+        network.register("b", lambda m: received.append(m))
+        network.send("a", "b", "hello")
+        scheduler.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert scheduler.clock.now == pytest.approx(0.1)
+
+    def test_unknown_recipient(self):
+        _, network = self._make()
+        with pytest.raises(ProtocolError):
+            network.send("a", "ghost", "x")
+
+    def test_duplicate_registration(self):
+        _, network = self._make()
+        network.register("b", lambda m: None)
+        with pytest.raises(ConfigurationError):
+            network.register("b", lambda m: None)
+
+    def test_drops(self):
+        scheduler, network = self._make(drop_probability=1.0)
+        received = []
+        network.register("b", lambda m: received.append(m))
+        network.send("a", "b", "x")
+        scheduler.run()
+        assert received == []
+        assert network.dropped == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(drop_probability=2.0)
+
+
+class TestProtocol:
+    def test_session_produces_offset_recordings(self, rng):
+        field = rng.standard_normal(32_000) * 0.01
+        session = run_synchronized_recording(
+            field, field.copy(), 16_000.0, rng=3
+        )
+        assert session.trigger_delay_s > 0.05
+        # The wearable missed the first trigger_delay_s of sound.
+        missing = int(round(session.trigger_delay_s * 16_000))
+        assert session.wearable_recording.size == pytest.approx(
+            session.va_recording.size - missing, abs=2
+        )
+        np.testing.assert_allclose(
+            session.wearable_recording[:100],
+            session.va_recording[missing : missing + 100],
+        )
+
+    def test_session_logs_protocol_steps(self, rng):
+        field = rng.standard_normal(16_000) * 0.01
+        session = run_synchronized_recording(field, field, 16_000.0,
+                                             rng=4)
+        assert any("trigger received" in line
+                   for line in session.wearable_log)
+        assert any("wake word" in line for line in session.va_log)
+
+    def test_lost_trigger_raises(self, rng):
+        field = rng.standard_normal(16_000) * 0.01
+        with pytest.raises(ProtocolError):
+            run_synchronized_recording(
+                field, field, 16_000.0,
+                network_config=NetworkConfig(drop_probability=1.0),
+                rng=5,
+            )
+
+    def test_rejects_2d_fields(self):
+        with pytest.raises(ProtocolError):
+            run_synchronized_recording(
+                np.zeros((2, 2)), np.zeros(4), 16_000.0
+            )

@@ -1,0 +1,155 @@
+"""Protocol-node misuse and trace behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.sim.devices import CloudRelay, VANode, WearableNode
+from repro.sim.events import EventScheduler
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.protocol import RecordingMessage, TriggerMessage
+
+
+@pytest.fixture()
+def fabric():
+    scheduler = EventScheduler()
+    network = Network(
+        scheduler,
+        NetworkConfig(mean_delay_s=0.05, jitter_s=0.0),
+        rng=0,
+    )
+    cloud = CloudRelay(network, scheduler)
+    va = VANode(network, scheduler, recording_duration_s=0.5)
+    wearable = WearableNode(network, scheduler,
+                            recording_duration_s=0.5)
+    return scheduler, network, cloud, va, wearable
+
+
+def test_va_rejects_unexpected_messages(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    network.send("wearable", "va", "junk")
+    with pytest.raises(ProtocolError):
+        scheduler.run()
+
+
+def test_wearable_rejects_unknown_payloads(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    network.send("va", "wearable", object())
+    with pytest.raises(ProtocolError):
+        scheduler.run()
+
+
+def test_cloud_requires_routable_payloads(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    network.send("va", "cloud", "unroutable")
+    with pytest.raises(ProtocolError):
+        scheduler.run()
+
+
+def test_cloud_forwards_trigger(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    message = TriggerMessage(forward_to="wearable", triggered_at_s=0.0)
+    network.send("va", "cloud", message)
+    scheduler.run(until_s=0.2)
+    assert wearable.recording is not None
+
+
+def test_full_handshake_produces_traces(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    field = np.random.default_rng(1).standard_normal(16_000) * 0.01
+
+    def capture(start_s, stop_s):
+        begin = int(start_s * 16_000)
+        end = min(int(stop_s * 16_000), field.size)
+        return field[begin:end].copy()
+
+    va.set_capture(capture)
+    wearable.set_capture(capture)
+    va.wake_word_detected()
+    scheduler.run()
+    assert wearable.has_both_recordings
+    assert any("relay" in line for line in cloud.log)
+    assert any("aggregating" in line for line in wearable.log)
+    # Two network hops of 0.05 s each.
+    assert wearable.recording.started_at_s == pytest.approx(
+        0.1, abs=0.01
+    )
+
+
+class TestRetransmission:
+    def test_session_survives_lossy_network(self, rng):
+        from repro.sim.network import NetworkConfig
+        from repro.sim.protocol import run_synchronized_recording
+
+        field = rng.standard_normal(32_000) * 0.01
+        completed = 0
+        for seed in range(8):
+            try:
+                run_synchronized_recording(
+                    field, field.copy(), 16_000.0,
+                    network_config=NetworkConfig(
+                        drop_probability=0.3
+                    ),
+                    rng=seed,
+                )
+                completed += 1
+            except Exception:
+                pass
+        # Retransmission recovers most sessions at 30 % loss.
+        assert completed >= 6
+
+    def test_duplicate_triggers_idempotent(self, fabric):
+        scheduler, network, cloud, va, wearable = fabric
+        va.set_capture(lambda s, e: np.zeros(10))
+        wearable.set_capture(lambda s, e: np.zeros(10))
+        from repro.sim.protocol import TriggerMessage
+
+        message = TriggerMessage(forward_to="wearable",
+                                 triggered_at_s=0.0)
+        network.send("va", "cloud", message)
+        network.send("va", "cloud", message)
+        scheduler.run(until_s=1.0)
+        assert any(
+            "duplicate trigger" in line for line in wearable.log
+        )
+
+    def test_ack_stops_retransmission(self, fabric):
+        scheduler, network, cloud, va, wearable = fabric
+        va.set_capture(lambda s, e: np.zeros(10))
+        wearable.set_capture(lambda s, e: np.zeros(10))
+        va.wake_word_detected()
+        scheduler.run()
+        # With a healthy network, one attempt suffices.
+        assert va.trigger_attempts == 1
+        assert va.trigger_acked
+        assert va.recording_acked
+
+    def test_retries_bounded(self):
+        from repro.sim.events import EventScheduler
+        from repro.sim.network import Network, NetworkConfig
+        from repro.sim.devices import CloudRelay, VANode, WearableNode
+
+        scheduler = EventScheduler()
+        network = Network(
+            scheduler, NetworkConfig(drop_probability=1.0), rng=0
+        )
+        CloudRelay(network, scheduler)
+        va = VANode(network, scheduler, recording_duration_s=0.2,
+                    max_trigger_retries=2)
+        WearableNode(network, scheduler, recording_duration_s=0.2)
+        va.set_capture(lambda s, e: np.zeros(4))
+        va.wake_word_detected()
+        scheduler.run(until_s=10.0)
+        assert va.trigger_attempts == 3  # initial + 2 retries
+        assert not va.trigger_acked
+
+
+def test_completion_callback_fires(fabric):
+    scheduler, network, cloud, va, wearable = fabric
+    va.set_capture(lambda s, e: np.zeros(10))
+    wearable.set_capture(lambda s, e: np.zeros(10))
+    fired = []
+    wearable.on_complete = lambda node: fired.append(node.name)
+    va.wake_word_detected()
+    scheduler.run()
+    assert fired == ["wearable"]

@@ -1,0 +1,113 @@
+"""VA device models and wake-word detection."""
+
+import numpy as np
+import pytest
+
+from repro.acoustics.spl import scale_to_spl
+from repro.dsp.generators import tone, white_noise
+from repro.va.device import (
+    ALEXA_ECHO,
+    GOOGLE_HOME,
+    IPHONE,
+    MACBOOK_PRO,
+    VA_DEVICES,
+    VoiceAssistantDevice,
+)
+from repro.va.wakeword import WakeWordDetector
+
+RATE = 16_000.0
+
+
+def _speechlike(spl_db, rng=0):
+    signal = tone(200.0, 1.0, RATE) + 0.5 * tone(800.0, 1.0, RATE)
+    return scale_to_spl(signal, spl_db)
+
+
+class TestWakeWord:
+    def test_loud_speech_triggers(self):
+        detector = WakeWordDetector()
+        result = detector.evaluate(_speechlike(75.0), RATE, rng=1)
+        assert result.probability > 0.95
+        assert result.triggered
+
+    def test_very_quiet_sound_does_not_trigger(self):
+        detector = WakeWordDetector()
+        result = detector.evaluate(_speechlike(20.0), RATE, rng=1)
+        assert result.probability < 0.05
+
+    def test_probability_monotonic_in_level(self):
+        detector = WakeWordDetector()
+        probs = [
+            detector.evaluate(_speechlike(level), RATE, rng=1).probability
+            for level in (30.0, 45.0, 60.0, 75.0)
+        ]
+        assert probs == sorted(probs)
+
+    def test_stochastic_at_threshold(self):
+        detector = WakeWordDetector(threshold_snr_db=6.0)
+        # A level near threshold should trigger sometimes, not always.
+        borderline = _speechlike(detector.noise_floor_db + 6.0)
+        outcomes = [
+            detector.evaluate(borderline, RATE, rng=i).triggered
+            for i in range(40)
+        ]
+        assert 5 < sum(outcomes) < 35
+
+
+class TestDevices:
+    def test_registry(self):
+        assert set(VA_DEVICES) == {
+            "Google Home", "Alexa Echo", "MacBook Pro", "iPhone"
+        }
+
+    def test_google_home_most_sensitive(self):
+        thresholds = {
+            spec.name: spec.threshold_snr_db
+            for spec in VA_DEVICES.values()
+        }
+        assert thresholds["Google Home"] == min(thresholds.values())
+        assert thresholds["iPhone"] == max(thresholds.values())
+
+    def test_siri_devices_gate_on_voice(self):
+        for spec in (MACBOOK_PRO, IPHONE):
+            assert spec.has_voice_recognition
+        for spec in (GOOGLE_HOME, ALEXA_ECHO):
+            assert not spec.has_voice_recognition
+
+    def test_trigger_succeeds_on_loud_sound(self):
+        device = VoiceAssistantDevice(GOOGLE_HOME)
+        result = device.try_trigger(_speechlike(75.0), RATE, rng=2)
+        assert result.triggered
+
+    def test_voice_gate_blocks_mismatched_voice(self):
+        device = VoiceAssistantDevice(IPHONE)
+        result = device.try_trigger(
+            _speechlike(85.0), RATE, voice_matches_user=False, rng=3
+        )
+        assert not result.triggered
+        assert result.probability == 0.0
+
+    def test_voice_gate_ignored_on_non_siri(self):
+        device = VoiceAssistantDevice(GOOGLE_HOME)
+        result = device.try_trigger(
+            _speechlike(80.0), RATE, voice_matches_user=False, rng=4
+        )
+        assert result.triggered
+
+    def test_sensitivity_ordering_in_practice(self):
+        # At a marginal level, Google Home should trigger more often
+        # than the iPhone.
+        level = _speechlike(48.0)
+        google = sum(
+            VoiceAssistantDevice(GOOGLE_HOME)
+            .try_trigger(level, RATE, rng=i)
+            .triggered
+            for i in range(30)
+        )
+        iphone = sum(
+            VoiceAssistantDevice(IPHONE)
+            .try_trigger(level, RATE, rng=i)
+            .triggered
+            for i in range(30)
+        )
+        assert google > iphone

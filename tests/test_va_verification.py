@@ -1,0 +1,126 @@
+"""Speaker verification substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelError
+from repro.phonemes.commands import phonemize
+from repro.va.verification import (
+    SpeakerVerifier,
+    VerifierConfig,
+    VerificationResult,
+)
+
+
+@pytest.fixture(scope="module")
+def enrolled(corpus):
+    verifier = SpeakerVerifier()
+    user = corpus.speakers[0]
+    enrollment = [
+        corpus.utterance(
+            phonemize("alexa play my favorite playlist"),
+            speaker=user, rng=700 + i,
+        ).waveform
+        for i in range(4)
+    ]
+    verifier.enroll(enrollment)
+    return verifier, user
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, corpus):
+        verifier = SpeakerVerifier()
+        utterance = corpus.utterance(phonemize("play music"), rng=1)
+        features = verifier.features(utterance.waveform)
+        assert features.shape == (34,)  # 32 mel + 2 F0 stats
+
+    def test_silent_input_rejected(self):
+        verifier = SpeakerVerifier()
+        with pytest.raises(ModelError):
+            verifier.features(np.zeros(16_000))
+
+    def test_f0_statistic_tracks_pitch(self, corpus):
+        verifier = SpeakerVerifier()
+        male = next(
+            s for s in corpus.speakers if s.gender == "male"
+        )
+        female = next(
+            s for s in corpus.speakers if s.gender == "female"
+        )
+        sequence = phonemize("good morning")
+        male_features = verifier.features(
+            corpus.utterance(sequence, speaker=male, rng=2).waveform
+        )
+        female_features = verifier.features(
+            corpus.utterance(sequence, speaker=female, rng=3).waveform
+        )
+        # Feature index -2 is the scaled F0 median.
+        assert female_features[-2] > male_features[-2]
+
+
+class TestVerification:
+    def test_unenrolled_raises(self, corpus):
+        verifier = SpeakerVerifier()
+        utterance = corpus.utterance(phonemize("play music"), rng=4)
+        with pytest.raises(ModelError):
+            verifier.score(utterance.waveform)
+
+    def test_same_speaker_accepted(self, enrolled, corpus):
+        verifier, user = enrolled
+        probe = corpus.utterance(
+            phonemize("ok google turn on the lights"),
+            speaker=user, rng=5,
+        )
+        result = verifier.verify(probe.waveform)
+        assert isinstance(result, VerificationResult)
+        assert result.accepted
+        assert result.score > 0.8
+
+    def test_different_speaker_scores_lower(self, enrolled, corpus):
+        verifier, user = enrolled
+        impostors = [
+            s for s in corpus.speakers
+            if s.gender != user.gender
+        ]
+        probe = corpus.utterance(
+            phonemize("ok google turn on the lights"),
+            speaker=impostors[0], rng=6,
+        )
+        genuine = corpus.utterance(
+            phonemize("ok google turn on the lights"),
+            speaker=user, rng=7,
+        )
+        assert verifier.score(probe.waveform) < verifier.score(
+            genuine.waveform
+        )
+
+    def test_replayed_voice_fools_verification(self, enrolled, corpus):
+        """The paper's premise: voice auth does not stop replay."""
+        from repro.attacks.replay import ReplayAttack
+
+        verifier, user = enrolled
+        attack = ReplayAttack(corpus, user).generate(
+            command="alexa play my favorite playlist", rng=8
+        )
+        assert verifier.verify(attack.waveform).accepted
+
+    def test_cloned_voice_fools_verification(self, enrolled, corpus):
+        """...and neither does speaker-adaptive synthesis."""
+        from repro.attacks.synthesis import VoiceSynthesisAttack
+
+        verifier, user = enrolled
+        attack = VoiceSynthesisAttack(corpus, user, rng=9).generate(
+            command="alexa play my favorite playlist", rng=10
+        )
+        assert verifier.score(attack.waveform) > 0.7
+
+    def test_enroll_requires_data(self):
+        with pytest.raises(ModelError):
+            SpeakerVerifier().enroll([])
+
+
+def test_invalid_config():
+    with pytest.raises(ConfigurationError):
+        VerifierConfig(n_mel=0)
+    with pytest.raises(ConfigurationError):
+        VerifierConfig(f0_range_hz=(400.0, 60.0))

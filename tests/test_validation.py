@@ -1,0 +1,64 @@
+"""Input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SignalError
+from repro.utils.validation import (
+    ensure_1d,
+    ensure_2d,
+    ensure_positive,
+    ensure_probability,
+)
+
+
+def test_ensure_1d_accepts_lists():
+    out = ensure_1d([1, 2, 3])
+    assert out.dtype == np.float64
+    assert out.shape == (3,)
+
+
+def test_ensure_1d_rejects_2d():
+    with pytest.raises(SignalError):
+        ensure_1d(np.zeros((2, 2)))
+
+
+def test_ensure_1d_rejects_empty():
+    with pytest.raises(SignalError):
+        ensure_1d(np.zeros(0))
+
+
+def test_ensure_1d_names_the_signal():
+    with pytest.raises(SignalError, match="myarg"):
+        ensure_1d(np.zeros((2, 2)), "myarg")
+
+
+def test_ensure_2d_accepts_matrix():
+    out = ensure_2d([[1.0, 2.0], [3.0, 4.0]])
+    assert out.shape == (2, 2)
+
+
+def test_ensure_2d_rejects_1d():
+    with pytest.raises(SignalError):
+        ensure_2d(np.zeros(3))
+
+
+def test_ensure_positive_accepts_positive():
+    assert ensure_positive(2.5, "x") == 2.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+def test_ensure_positive_rejects(bad):
+    with pytest.raises(ConfigurationError):
+        ensure_positive(bad, "x")
+
+
+@pytest.mark.parametrize("good", [0.0, 0.5, 1.0])
+def test_ensure_probability_accepts(good):
+    assert ensure_probability(good, "p") == good
+
+
+@pytest.mark.parametrize("bad", [-0.1, 1.1, float("nan")])
+def test_ensure_probability_rejects(bad):
+    with pytest.raises(ConfigurationError):
+        ensure_probability(bad, "p")
