@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench examples clean
+.PHONY: install test test-fast smoke bench examples clean
 
 install:
 	pip install -e '.[test]'
@@ -12,6 +12,12 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# 2-worker campaign smoke test: process-pool sharding must reproduce
+# the serial score set bitwise (the determinism contract).
+smoke:
+	$(PYTHON) -m pytest tests/test_eval_runner.py -q
+	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 --workers 2
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

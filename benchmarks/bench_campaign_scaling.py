@@ -1,0 +1,89 @@
+"""Campaign-runner scaling: wall clock vs worker count.
+
+Not a paper figure — this measures the evaluation harness itself.  The
+same campaign is scored serially and through a process pool; the
+determinism contract requires bitwise-identical score sets, so the only
+thing allowed to move is the wall clock.  On an N-core machine the pool
+run should approach an N× speedup for worker counts up to N (e.g. ≥2×
+at 4 workers on a 4-core box); on a single core the pool adds process
+overhead and the speedup column simply documents that.
+
+Worker counts default to (1, 2, 4) capped at the core count; override
+with ``REPRO_BENCH_WORKERS`` (comma-separated, e.g. ``1,4,8``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import emit, run_once
+from repro.attacks.base import AttackKind
+from repro.eval.campaign import CampaignConfig, DetectorBank
+from repro.eval.participants import ParticipantPool
+from repro.eval.reporting import format_runner_stats, format_table
+from repro.eval.rooms import ROOMS
+from repro.eval.runner import CampaignRunner
+from repro.phonemes.corpus import SyntheticCorpus
+
+
+def _worker_counts():
+    spec = os.environ.get("REPRO_BENCH_WORKERS", "")
+    if spec:
+        return [int(token) for token in spec.split(",")]
+    cores = os.cpu_count() or 1
+    return [count for count in (1, 2, 4) if count <= max(cores, 1)] or [1]
+
+
+def _campaign():
+    pool = ParticipantPool(n_participants=8, seed=9100)
+    detectors = DetectorBank(segmenter=None)
+    config = CampaignConfig(
+        n_commands_per_participant=2, n_attacks_per_kind=2, seed=9101
+    )
+    corpus = SyntheticCorpus(speakers=pool.speakers, seed=config.seed)
+    return pool, detectors, config, corpus
+
+
+def _scale(counts):
+    pool, detectors, config, corpus = _campaign()
+    results = {}
+    for count in counts:
+        results[count] = CampaignRunner(n_workers=count).run(
+            list(ROOMS.values()), pool, detectors, [AttackKind.REPLAY],
+            config, corpus=corpus,
+        )
+    return results
+
+
+def test_campaign_scaling(benchmark):
+    counts = sorted(set(_worker_counts()))
+    results = run_once(benchmark, lambda: _scale(counts))
+
+    baseline = results[counts[0]]
+    rows = []
+    for count in counts:
+        result = results[count]
+        # Determinism contract: identical scores at every worker count.
+        assert result.scores.legit == baseline.scores.legit
+        assert result.scores.attacks == baseline.scores.attacks
+        stats = result.stats
+        rows.append(
+            (
+                count,
+                stats.mode,
+                f"{stats.wall_s:.2f}",
+                f"{stats.samples_per_s:.2f}",
+                f"{baseline.stats.wall_s / stats.wall_s:.2f}x",
+            )
+        )
+    body = format_table(
+        ["workers", "mode", "wall s", "samples/s", "speedup"],
+        rows,
+        title=(
+            f"campaign scaling — {baseline.stats.n_units} units, "
+            f"{baseline.stats.n_samples} samples, "
+            f"{os.cpu_count() or 1} core(s)"
+        ),
+    )
+    body += "\n\n" + format_runner_stats(results[counts[-1]].stats)
+    emit("campaign_scaling", body)

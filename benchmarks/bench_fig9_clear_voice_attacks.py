@@ -15,6 +15,8 @@ ordering — full ≫ vibration ≫ audio — must hold for every attack.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from benchmarks.conftest import emit, run_once
@@ -27,7 +29,11 @@ from repro.eval.campaign import (
     VIBRATION_BASELINE,
 )
 from repro.eval.experiment import run_attack_experiment
-from repro.eval.reporting import format_roc_summary
+from repro.eval.reporting import format_roc_summary, format_runner_stats
+
+# Campaign scoring shards across this many worker processes (0 = one
+# per core).  Scores are identical for any value; only wall clock moves.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1")) or None
 
 PAPER_AUC = {
     AttackKind.RANDOM: {
@@ -65,22 +71,22 @@ def _run(kind, trained_segmenter):
     )
     detectors = DetectorBank(segmenter=trained_segmenter)
     return run_attack_experiment(
-        kind, config=config, detectors=detectors
+        kind, config=config, detectors=detectors, n_workers=WORKERS
     )
 
 
 def _emit_panel(name, kind, result):
-    emit(
-        name,
-        format_roc_summary(
-            f"Fig. 9 — {kind.value} attack "
-            f"({result.metrics[FULL_SYSTEM].n_legit} legit / "
-            f"{result.metrics[FULL_SYSTEM].n_attack} attack samples)",
-            result.metrics,
-            paper_auc=PAPER_AUC[kind],
-            paper_eer=PAPER_EER[kind],
-        ),
+    body = format_roc_summary(
+        f"Fig. 9 — {kind.value} attack "
+        f"({result.metrics[FULL_SYSTEM].n_legit} legit / "
+        f"{result.metrics[FULL_SYSTEM].n_attack} attack samples)",
+        result.metrics,
+        paper_auc=PAPER_AUC[kind],
+        paper_eer=PAPER_EER[kind],
     )
+    if result.stats is not None:
+        body += "\n" + format_runner_stats(result.stats)
+    emit(name, body)
 
 
 def _assert_shape(result, kind):

@@ -14,7 +14,7 @@ from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus
 from repro.phonemes.speaker import SpeakerProfile
-from repro.utils.rng import SeedLike, as_generator, child_rng
+from repro.utils.rng import SeedLike, as_generator, child_seed
 
 
 class RandomAttack:
@@ -49,7 +49,8 @@ class RandomAttack:
             phonemize(command),
             speaker=self.adversary,
             text=command,
-            rng=child_rng(generator, "utterance"),
+            # Integer seed (not a Generator) so the corpus can memoize.
+            rng=child_seed(generator, "utterance"),
         )
         return AttackSound(
             kind=self.kind,

@@ -17,7 +17,7 @@ from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus
 from repro.phonemes.speaker import SpeakerProfile
-from repro.utils.rng import SeedLike, as_generator, child_rng
+from repro.utils.rng import SeedLike, as_generator, child_rng, child_seed
 
 
 class ReplayAttack:
@@ -54,7 +54,8 @@ class ReplayAttack:
             phonemize(command),
             speaker=self.victim,
             text=command,
-            rng=child_rng(generator, "utterance"),
+            # Integer seed (not a Generator) so the corpus can memoize.
+            rng=child_seed(generator, "utterance"),
         )
         recorded = self._recording_mic.capture(
             utterance.waveform,

@@ -14,7 +14,7 @@ synchronization error that the cross-correlation alignment removes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -161,14 +161,25 @@ class AttackScenario:
         utterance: Utterance,
         spl_db: float = 70.0,
         rng: SeedLike = None,
+        user_to_va_m: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """(VA, wearable) recordings of the user speaking in the room."""
+        """(VA, wearable) recordings of the user speaking in the room.
+
+        ``user_to_va_m`` overrides the scenario's default distance for
+        this call only, so callers sampling several speaking distances
+        never have to mutate (and risk leaking state through) a shared
+        scenario object.
+        """
         generator = as_generator(rng)
+        if user_to_va_m is None:
+            user_to_va_m = self.user_to_va_m
+        else:
+            ensure_positive(user_to_va_m, "user_to_va_m")
         source = scale_to_spl(utterance.waveform, spl_db)
         return self._record_both(
             source,
             utterance.sample_rate,
-            source_to_va_m=self.user_to_va_m,
+            source_to_va_m=user_to_va_m,
             source_to_wearable_m=self.user_to_wearable_m,
             generator=generator,
         )

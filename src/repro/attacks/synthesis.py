@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus, Utterance
 from repro.phonemes.speaker import SpeakerProfile
-from repro.utils.rng import SeedLike, as_generator, child_rng
+from repro.utils.rng import SeedLike, as_generator, child_rng, child_seed
 
 
 @dataclass(frozen=True)
@@ -89,7 +89,9 @@ class VoiceSynthesisAttack:
                     self.commands[index % len(self.commands)]
                 ),
                 speaker=victim,
-                rng=child_rng(generator, f"enroll-{index}"),
+                # Integer seeds so repeated enrollments (e.g. across the
+                # values of a factor sweep) hit the corpus cache.
+                rng=child_seed(generator, f"enroll-{index}"),
             )
             for index in range(n_enrollment)
         ]
@@ -126,7 +128,7 @@ class VoiceSynthesisAttack:
             phonemize(command),
             speaker=self.cloned_speaker,
             text=command,
-            rng=child_rng(generator, "utterance"),
+            rng=child_seed(generator, "utterance"),
         )
         waveform = self._spectral_smoothing(
             utterance.waveform, utterance.sample_rate

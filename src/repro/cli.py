@@ -58,12 +58,26 @@ def _build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--commands", type=int, default=3)
     evaluate.add_argument("--attacks", type=int, default=3)
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes for campaign scoring "
+            "(0 = one per CPU core; results are identical for any count)"
+        ),
+    )
 
     study = sub.add_parser(
         "attack-study", help="Table I-style VA vulnerability study"
     )
     study.add_argument("--attempts", type=int, default=10)
     study.add_argument("--seed", type=int, default=77)
+    study.add_argument(
+        "--workers", type=int, default=1,
+        help=(
+            "worker processes for the device x SPL cells "
+            "(0 = one per CPU core; results are identical for any count)"
+        ),
+    )
     return parser
 
 
@@ -127,12 +141,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workers(count: int) -> Optional[int]:
+    """Map the --workers flag to a CampaignRunner worker count.
+
+    Rejects negatives up front, before any expensive setup (segmenter
+    training) runs.
+    """
+    if count < 0:
+        raise SystemExit(f"error: --workers must be >= 0, got {count}")
+    return None if count == 0 else count
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.attacks.base import AttackKind
     from repro.core.segmentation import train_default_segmenter
     from repro.eval.campaign import CampaignConfig, DetectorBank
     from repro.eval.experiment import run_attack_experiment
+    from repro.eval.reporting import format_runner_stats
 
+    workers = _resolve_workers(args.workers)
     print("Training segmenter...")
     detectors = DetectorBank(
         segmenter=train_default_segmenter(seed=args.seed)
@@ -144,51 +171,85 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     print("Running the campaign (this takes a few minutes)...")
     result = run_attack_experiment(
-        AttackKind(args.attack), config=config, detectors=detectors
+        AttackKind(args.attack),
+        config=config,
+        detectors=detectors,
+        n_workers=workers,
     )
     for detector, metrics in result.metrics.items():
         print(f"{detector:20}: {metrics}")
+    if result.stats is not None:
+        print(format_runner_stats(result.stats))
     return 0
 
 
-def _cmd_attack_study(args: argparse.Namespace) -> int:
-    import numpy as np
+def _attack_study_cell(payload) -> int:
+    """Successful trigger count for one (device, SPL) cell.
+
+    Module-level and fully derived from the payload's seed so cells can
+    run in worker processes and still match a serial run exactly.
+    """
+    seed, name, spec, level, attempts = payload
 
     from repro.acoustics.propagation import propagate
     from repro.attacks import AttackScenario, ReplayAttack
     from repro.eval.rooms import ROOM_A
     from repro.phonemes import SyntheticCorpus
-    from repro.utils.rng import child_rng
-    from repro.va import VA_DEVICES, VoiceAssistantDevice
+    from repro.utils.rng import child_rng, derive_seed
+    from repro.va import VoiceAssistantDevice
 
-    corpus = SyntheticCorpus(n_speakers=2, seed=args.seed)
+    import numpy as np
+
+    corpus = SyntheticCorpus(n_speakers=2, seed=seed)
     scenario = AttackScenario(room_config=ROOM_A)
     replay = ReplayAttack(corpus, corpus.speakers[0])
-    rng = np.random.default_rng(args.seed + 1)
+    rng = np.random.default_rng(derive_seed(seed, name, level))
+    successes = 0
+    for attempt in range(attempts):
+        attack = replay.generate(
+            command=spec.wake_word,
+            rng=child_rng(rng, f"gen-{attempt}"),
+        )
+        interior = scenario.channel.transmit(
+            attack.waveform, attack.sample_rate, level,
+            rng=child_rng(rng, f"barrier-{attempt}"),
+        )
+        device = VoiceAssistantDevice(spec)
+        successes += device.try_trigger(
+            propagate(interior, attack.sample_rate, 2.0),
+            attack.sample_rate,
+            rng=child_rng(rng, f"trigger-{attempt}"),
+        ).triggered
+    return successes
+
+
+def _cmd_attack_study(args: argparse.Namespace) -> int:
+    from repro.va import VA_DEVICES
+
+    levels = (65.0, 75.0)
+    payloads = [
+        (args.seed, name, spec, level, args.attempts)
+        for name, spec in VA_DEVICES.items()
+        for level in levels
+    ]
+    workers = _resolve_workers(args.workers)
+    if workers is None or workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                counts = list(pool.map(_attack_study_cell, payloads))
+        except OSError:
+            counts = [_attack_study_cell(p) for p in payloads]
+    else:
+        counts = [_attack_study_cell(p) for p in payloads]
+
     print(f"{'device':14} {'65 dB':>8} {'75 dB':>8}")
-    for name, spec in VA_DEVICES.items():
-        cells = []
-        for level in (65.0, 75.0):
-            successes = 0
-            for attempt in range(args.attempts):
-                attack = replay.generate(
-                    command=spec.wake_word,
-                    rng=child_rng(rng, f"{name}{level}{attempt}"),
-                )
-                interior = scenario.channel.transmit(
-                    attack.waveform, attack.sample_rate, level,
-                    rng=child_rng(rng, f"b{attempt}"),
-                )
-                device = VoiceAssistantDevice(spec)
-                successes += device.try_trigger(
-                    propagate(interior, attack.sample_rate, 2.0),
-                    attack.sample_rate,
-                    rng=child_rng(rng, f"t{attempt}"),
-                ).triggered
-            cells.append(successes)
+    for index, name in enumerate(VA_DEVICES):
+        row = counts[index * len(levels) : (index + 1) * len(levels)]
         print(
-            f"{name:14} {cells[0]:>5}/{args.attempts} "
-            f"{cells[1]:>5}/{args.attempts}"
+            f"{name:14} {row[0]:>5}/{args.attempts} "
+            f"{row[1]:>5}/{args.attempts}"
         )
     return 0
 

@@ -44,7 +44,7 @@ class DetectorConfig:
 class CorrelationDetector:
     """Scores and classifies feature pairs by 2-D correlation."""
 
-    def __init__(self, config: DetectorConfig = None) -> None:
+    def __init__(self, config: Optional[DetectorConfig] = None) -> None:
         self.config = config or DetectorConfig()
 
     def score(
@@ -64,14 +64,22 @@ class CorrelationDetector:
         features_wearable: np.ndarray,
     ) -> bool:
         """Thresholded decision; requires a configured threshold."""
+        return self.decide(self.score(features_va, features_wearable))
+
+    def decide(self, score: float) -> bool:
+        """Apply the threshold rule to an already-computed score.
+
+        The single place the boundary semantics live (attack iff
+        ``score < threshold``); :meth:`is_attack` and
+        :meth:`repro.core.pipeline.DefensePipeline.analyze` both
+        delegate here so the two can never drift.
+        """
         if self.config.threshold is None:
             raise ConfigurationError(
                 "detector has no threshold; set DetectorConfig.threshold "
                 "or calibrate one with repro.eval"
             )
-        return self.score(features_va, features_wearable) < (
-            self.config.threshold
-        )
+        return score < self.config.threshold
 
     def with_threshold(self, threshold: float) -> "CorrelationDetector":
         """A copy of this detector with ``threshold`` set."""

@@ -20,6 +20,7 @@ window and FFT, per the paper), with three corrections:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -70,7 +71,7 @@ class VibrationFeatureExtractor:
 
     def __init__(
         self,
-        config: FeatureConfig = None,
+        config: Optional[FeatureConfig] = None,
         sample_rate: float = 200.0,
     ) -> None:
         self.config = config or FeatureConfig()
@@ -104,13 +105,20 @@ class VibrationFeatureExtractor:
                 self.sample_rate,
                 config.artifact_cutoff_hz,
             )
-        if config.normalize:
-            peak = float(np.max(spectrogram))
-            if peak > 0:
-                spectrogram = spectrogram / peak
+        peak = float(np.max(spectrogram))
+        if config.normalize and peak > 0:
+            spectrogram = spectrogram / peak
         if config.log_compress:
+            # The floor is always relative to the spectrogram peak: after
+            # normalization the peak is 1 (0 dB) so the floor is
+            # ``log_floor_db`` itself; without normalization the floor
+            # shifts with the peak so it never becomes an absolute,
+            # scale-dependent cutoff.
+            floor_db = config.log_floor_db
+            if not config.normalize and peak > 0:
+                floor_db += 10.0 * np.log10(peak)
             spectrogram = np.maximum(
                 10.0 * np.log10(spectrogram + 1e-12),
-                config.log_floor_db,
+                floor_db,
             )
         return spectrogram

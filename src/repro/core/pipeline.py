@@ -173,7 +173,7 @@ class DefensePipeline:
 
         is_attack: Optional[bool] = None
         if config.detector.threshold is not None:
-            is_attack = score < config.detector.threshold
+            is_attack = self.detector.decide(score)
         return DefenseVerdict(
             score=score,
             is_attack=is_attack,

@@ -9,7 +9,7 @@ The residual offset is estimated with normalized cross-correlation
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ def synchronize_recordings(
     va_audio: np.ndarray,
     wearable_audio: np.ndarray,
     sample_rate: float,
-    config: SyncConfig = None,
+    config: Optional[SyncConfig] = None,
 ) -> Tuple[np.ndarray, np.ndarray, float]:
     """Align the two devices' recordings of the same voice command.
 

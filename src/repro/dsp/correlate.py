@@ -37,6 +37,12 @@ def normalized_cross_correlation(
 
     ref = ensure_1d(reference, "reference")
     sig = ensure_1d(other, "other")
+    if ref.size == 0:
+        raise SignalError(
+            "reference must be non-empty for cross-correlation"
+        )
+    if sig.size == 0:
+        raise SignalError("other must be non-empty for cross-correlation")
     if max_lag < 0:
         raise SignalError(f"max_lag must be >= 0, got {max_lag}")
     max_lag = min(max_lag, ref.size - 1, sig.size - 1)
@@ -69,6 +75,12 @@ def cross_correlation_delay(
     """
     va = ensure_1d(va_signal, "va_signal")
     wearable = ensure_1d(wearable_signal, "wearable_signal")
+    if va.size == 0:
+        raise SignalError("va_signal must be non-empty to estimate delay")
+    if wearable.size == 0:
+        raise SignalError(
+            "wearable_signal must be non-empty to estimate delay"
+        )
     lags, values = normalized_cross_correlation(va, wearable, max_lag)
     return int(lags[int(np.argmax(values))])
 

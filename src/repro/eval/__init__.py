@@ -16,17 +16,27 @@ from repro.eval.rooms import ROOM_A, ROOM_B, ROOM_C, ROOM_D, ROOMS
 from repro.eval.participants import ParticipantPool
 from repro.eval.campaign import (
     CampaignConfig,
+    CampaignUnit,
     DetectorBank,
     ScoreSet,
+    build_campaign_units,
     collect_scores,
+    score_campaign_unit,
 )
 from repro.eval.experiment import (
     ExperimentResult,
     run_attack_experiment,
     run_factor_sweep,
 )
+from repro.eval.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignStats,
+    UnitStats,
+)
 from repro.eval.reporting import (
     format_roc_summary,
+    format_runner_stats,
     format_series,
     format_table,
     sparkline,
@@ -51,13 +61,21 @@ __all__ = [
     "ROOMS",
     "ParticipantPool",
     "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignStats",
+    "CampaignUnit",
     "DetectorBank",
     "ScoreSet",
+    "UnitStats",
+    "build_campaign_units",
     "collect_scores",
+    "score_campaign_unit",
     "ExperimentResult",
     "run_attack_experiment",
     "run_factor_sweep",
     "format_roc_summary",
+    "format_runner_stats",
     "format_series",
     "format_table",
     "sparkline",

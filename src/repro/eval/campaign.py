@@ -34,7 +34,13 @@ from repro.eval.participants import ParticipantPool
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus, Utterance
 from repro.phonemes.speaker import SpeakerProfile
-from repro.utils.rng import SeedLike, as_generator, child_rng, derive_seed
+from repro.utils.rng import (
+    SeedLike,
+    as_generator,
+    child_rng,
+    child_seed,
+    derive_seed,
+)
 
 #: Detector keys used throughout the evaluation.
 FULL_SYSTEM = "full_system"
@@ -190,6 +196,107 @@ def _make_attack_generators(
     return generators
 
 
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One independently-seeded room × victim cell of a campaign.
+
+    Units are the sharding granularity of the evaluation: every unit
+    derives its own seed from ``(config.seed, room, victim)``, so units
+    can be scored in any order — or in parallel worker processes — and
+    still produce exactly the scores of a serial run.
+    """
+
+    room: RoomConfig
+    victim: SpeakerProfile
+    adversary: SpeakerProfile
+    attack_kinds: Tuple[AttackKind, ...]
+    config: CampaignConfig
+    seed: int
+
+    @property
+    def n_samples(self) -> int:
+        """Number of scored recordings this unit produces."""
+        return self.config.n_commands_per_participant + (
+            self.config.n_attacks_per_kind * len(self.attack_kinds)
+        )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable unit identifier."""
+        return f"{self.room.name}/{self.victim.speaker_id}"
+
+
+def build_campaign_units(
+    rooms: Sequence[RoomConfig],
+    pool: ParticipantPool,
+    attack_kinds: Sequence[AttackKind],
+    config: CampaignConfig,
+) -> List[CampaignUnit]:
+    """Expand a campaign into its independently-executable units.
+
+    For each room, each assigned participant takes a turn as victim with
+    the next participant in the pool as the adversary (the paper's
+    take-turns protocol); the unit order is deterministic and matches
+    the serial iteration order of :func:`collect_scores`.
+    """
+    units: List[CampaignUnit] = []
+    assignments = pool.room_assignments([room.name for room in rooms])
+    for room in rooms:
+        for victim_index, victim in enumerate(assignments[room.name]):
+            adversaries = pool.adversaries_for(victim)
+            adversary = adversaries[victim_index % len(adversaries)]
+            units.append(
+                CampaignUnit(
+                    room=room,
+                    victim=victim,
+                    adversary=adversary,
+                    attack_kinds=tuple(attack_kinds),
+                    config=config,
+                    seed=derive_seed(
+                        config.seed, room.name, victim.speaker_id
+                    ),
+                )
+            )
+    return units
+
+
+def score_campaign_unit(
+    unit: CampaignUnit,
+    detectors: DetectorBank,
+    corpus: SyntheticCorpus,
+) -> ScoreSet:
+    """Score one room × victim cell; the campaign's pure unit of work.
+
+    The legitimate and attack passes draw from *separate* generators
+    derived from the unit seed, so changing the number of legitimate
+    samples can never shift the attack scores (and vice versa).
+    """
+    scenario = AttackScenario(
+        room_config=unit.room,
+        barrier_to_va_m=unit.config.barrier_to_va_m,
+        barrier_to_wearable_m=unit.config.barrier_to_wearable_m,
+    )
+    scores = ScoreSet()
+    legit_rng = np.random.default_rng(derive_seed(unit.seed, "legit"))
+    attack_rng = np.random.default_rng(derive_seed(unit.seed, "attacks"))
+    _score_legitimate(
+        scores, scenario, corpus, unit.victim, detectors, unit.config,
+        legit_rng,
+    )
+    _score_attacks(
+        scores,
+        scenario,
+        corpus,
+        unit.victim,
+        unit.adversary,
+        unit.attack_kinds,
+        detectors,
+        unit.config,
+        attack_rng,
+    )
+    return scores
+
+
 def collect_scores(
     rooms: Sequence[RoomConfig],
     pool: ParticipantPool,
@@ -197,6 +304,7 @@ def collect_scores(
     attack_kinds: Sequence[AttackKind],
     config: CampaignConfig,
     corpus: Optional[SyntheticCorpus] = None,
+    n_workers: Optional[int] = 1,
 ) -> ScoreSet:
     """Run a campaign and return every detector's score distributions.
 
@@ -204,42 +312,19 @@ def collect_scores(
     ``n_commands_per_participant`` commands (legitimate samples) and is
     attacked ``n_attacks_per_kind`` times per attack kind, with the next
     participant in the pool as the adversary.
+
+    ``n_workers`` shards the room × victim units across a process pool
+    (``None`` = one worker per CPU core, ``1`` = serial); because every
+    unit is independently seeded, the returned scores are identical for
+    any worker count.  See :class:`repro.eval.runner.CampaignRunner` for
+    the engine and per-unit timing.
     """
-    corpus = corpus or SyntheticCorpus(
-        speakers=pool.speakers, seed=config.seed
-    )
-    scores = ScoreSet()
-    assignments = pool.room_assignments([room.name for room in rooms])
-    for room in rooms:
-        scenario = AttackScenario(
-            room_config=room,
-            barrier_to_va_m=config.barrier_to_va_m,
-            barrier_to_wearable_m=config.barrier_to_wearable_m,
-        )
-        for victim_index, victim in enumerate(assignments[room.name]):
-            # Take-turns protocol: the remaining participants serve as
-            # adversaries, rotating per victim.
-            adversaries = pool.adversaries_for(victim)
-            adversary = adversaries[victim_index % len(adversaries)]
-            room_seed = derive_seed(
-                config.seed, room.name, victim.speaker_id
-            )
-            rng = np.random.default_rng(room_seed)
-            _score_legitimate(
-                scores, scenario, corpus, victim, detectors, config, rng
-            )
-            _score_attacks(
-                scores,
-                scenario,
-                corpus,
-                victim,
-                adversary,
-                attack_kinds,
-                detectors,
-                config,
-                rng,
-            )
-    return scores
+    from repro.eval.runner import CampaignRunner
+
+    runner = CampaignRunner(n_workers=n_workers)
+    return runner.run(
+        rooms, pool, detectors, attack_kinds, config, corpus=corpus
+    ).scores
 
 
 def _score_legitimate(
@@ -259,15 +344,20 @@ def _score_legitimate(
             phonemize(command),
             speaker=victim,
             text=command,
-            rng=child_rng(rng, f"legit-utt-{index}"),
+            # Integer seed (not a Generator) so the corpus can memoize.
+            rng=child_seed(rng, f"legit-utt-{index}"),
         )
         distance = config.user_distances_m[
             index % len(config.user_distances_m)
         ]
-        scenario.user_to_va_m = distance
         spl = float(rng.uniform(*config.user_spl_range))
         va_rec, wearable_rec = scenario.legitimate_recordings(
-            utterance, spl_db=spl, rng=child_rng(rng, f"legit-rec-{index}")
+            utterance,
+            spl_db=spl,
+            rng=child_rng(rng, f"legit-rec-{index}"),
+            # Per-call distance: mutating the shared scenario here leaked
+            # the last legitimate distance into later passes.
+            user_to_va_m=distance,
         )
         scores.add_legit(
             detectors.score_all(

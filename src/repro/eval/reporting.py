@@ -83,6 +83,54 @@ def format_roc_summary(
     return format_table(headers, rows, title=title)
 
 
+def format_runner_stats(stats, max_units: int = 12) -> str:
+    """Render a :class:`repro.eval.runner.CampaignStats` block.
+
+    Shows the end-to-end wall clock, throughput, and realized speedup
+    (summed per-unit time over outer wall time), followed by the
+    slowest per-unit rows (all rows when there are at most
+    ``max_units``).
+    """
+    lines = [
+        (
+            f"campaign: {stats.n_units} units, {stats.n_samples} samples "
+            f"in {stats.wall_s:.2f}s "
+            f"({stats.samples_per_s:.2f} samples/s, "
+            f"{stats.n_workers} worker(s), {stats.mode})"
+        )
+    ]
+    if stats.units and stats.wall_s > 0:
+        lines.append(
+            f"unit work {stats.unit_wall_s:.2f}s -> speedup "
+            f"{stats.unit_wall_s / stats.wall_s:.2f}x"
+        )
+    units = sorted(stats.units, key=lambda u: u.wall_s, reverse=True)
+    shown = units[:max_units]
+    if shown:
+        rows = [
+            (
+                unit.label,
+                f"{unit.wall_s:.2f}",
+                unit.n_samples,
+                f"{unit.samples_per_s:.2f}",
+            )
+            for unit in shown
+        ]
+        title = (
+            "per-unit wall clock"
+            if len(shown) == len(units)
+            else f"slowest {len(shown)} of {len(units)} units"
+        )
+        lines.append(
+            format_table(
+                ["unit", "wall s", "samples", "samples/s"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[float], width: int = 40) -> str:
     """Tiny unicode sparkline for quick visual sanity checks."""
     blocks = "▁▂▃▄▅▆▇█"

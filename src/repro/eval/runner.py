@@ -1,0 +1,301 @@
+"""Parallel campaign execution engine.
+
+Every headline experiment funnels through the campaign's room × victim
+units, and every unit derives its own seed from ``(config.seed, room,
+victim)`` — so units can be scored in any order, in any process, and
+still reproduce the serial run bit for bit.  :class:`CampaignRunner`
+exploits that: it shards units across a :class:`ProcessPoolExecutor`
+(or runs them serially), folds the per-unit :class:`ScoreSet`s back
+together in deterministic unit order with :meth:`ScoreSet.merge`, and
+records per-unit wall-clock and throughput.
+
+Determinism contract
+--------------------
+For a fixed ``CampaignConfig.seed``, participant pool, rooms, and attack
+kinds, ``CampaignRunner(n_workers=k).run(...)`` returns an identical
+:class:`ScoreSet` for every ``k`` — the same detectors, the same score
+lists in the same order.  The regression suite
+(``tests/test_eval_runner.py``) pins this.
+
+Fault tolerance
+---------------
+If the pool cannot spawn (restricted environments, unpicklable detector
+banks) or workers die mid-campaign, the runner logs a warning and
+finishes the remaining units serially in-process; results are unchanged
+because units are order-independent.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.acoustics.room import RoomConfig
+from repro.attacks.base import AttackKind
+from repro.errors import ConfigurationError
+from repro.eval.campaign import (
+    CampaignConfig,
+    CampaignUnit,
+    DetectorBank,
+    ScoreSet,
+    build_campaign_units,
+    score_campaign_unit,
+)
+from repro.eval.participants import ParticipantPool
+from repro.phonemes.corpus import SyntheticCorpus
+
+logger = logging.getLogger(__name__)
+
+#: Errors that indicate the *pool* (not the scoring) failed; the runner
+#: falls back to serial execution when it sees one of these.
+_POOL_ERRORS = (BrokenExecutor, OSError, pickle.PicklingError)
+
+
+@dataclass(frozen=True)
+class UnitStats:
+    """Wall-clock accounting for one scored campaign unit."""
+
+    label: str
+    wall_s: float
+    n_samples: int
+
+    @property
+    def samples_per_s(self) -> float:
+        """Scored recordings per second inside this unit."""
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.n_samples / self.wall_s
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate timing of one campaign run.
+
+    ``wall_s`` is the caller-observed (outer) wall clock; the per-unit
+    walls in ``units`` are measured inside the executing process, so in
+    parallel runs their sum exceeds ``wall_s`` — the ratio is the
+    realized speedup.
+    """
+
+    n_workers: int
+    mode: str
+    wall_s: float = 0.0
+    units: List[UnitStats] = field(default_factory=list)
+
+    @property
+    def n_units(self) -> int:
+        """Number of campaign units executed."""
+        return len(self.units)
+
+    @property
+    def n_samples(self) -> int:
+        """Total recordings scored across all units."""
+        return sum(unit.n_samples for unit in self.units)
+
+    @property
+    def samples_per_s(self) -> float:
+        """End-to-end throughput in scored recordings per second."""
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.n_samples / self.wall_s
+
+    @property
+    def unit_wall_s(self) -> float:
+        """Summed in-process unit time (serial-equivalent work)."""
+        return sum(unit.wall_s for unit in self.units)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Scores plus execution statistics of one campaign run."""
+
+    scores: ScoreSet
+    stats: CampaignStats
+
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing.  The pool initializer parks the (read-only)
+# detector bank and corpus in module globals so they are pickled once
+# per worker instead of once per unit, and so each worker's corpus
+# utterance cache stays warm across the units it executes.
+# ----------------------------------------------------------------------
+
+_WORKER_DETECTORS: Optional[DetectorBank] = None
+_WORKER_CORPUS: Optional[SyntheticCorpus] = None
+
+
+def _init_worker(detectors: DetectorBank, corpus: SyntheticCorpus) -> None:
+    global _WORKER_DETECTORS, _WORKER_CORPUS
+    _WORKER_DETECTORS = detectors
+    _WORKER_CORPUS = corpus
+
+
+def _score_unit_in_worker(
+    unit: CampaignUnit,
+) -> Tuple[ScoreSet, float]:
+    start = time.perf_counter()
+    scores = score_campaign_unit(unit, _WORKER_DETECTORS, _WORKER_CORPUS)
+    return scores, time.perf_counter() - start
+
+
+class CampaignRunner:
+    """Executes campaign units serially or across a process pool.
+
+    Parameters
+    ----------
+    n_workers:
+        ``1`` runs in-process (serial); ``None`` uses one worker per CPU
+        core (``os.cpu_count()``); any other value caps the pool size.
+        The worker count never exceeds the number of units.
+
+    Examples
+    --------
+    >>> runner = CampaignRunner(n_workers=1)
+    >>> # result = runner.run(rooms, pool, detectors, kinds, config)
+    >>> # result.scores, result.stats.samples_per_s
+    """
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        if n_workers is not None and int(n_workers) < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1 (or None), got {n_workers}"
+            )
+        self.n_workers = None if n_workers is None else int(n_workers)
+
+    def run(
+        self,
+        rooms: Sequence[RoomConfig],
+        pool: ParticipantPool,
+        detectors: DetectorBank,
+        attack_kinds: Sequence[AttackKind],
+        config: CampaignConfig,
+        corpus: Optional[SyntheticCorpus] = None,
+    ) -> CampaignResult:
+        """Run a full campaign and merge the per-unit score sets."""
+        corpus = corpus or SyntheticCorpus(
+            speakers=pool.speakers, seed=config.seed
+        )
+        units = build_campaign_units(rooms, pool, attack_kinds, config)
+        score_sets, stats = self.run_units(units, detectors, corpus)
+        merged = ScoreSet()
+        for scores in score_sets:
+            merged.merge(scores)
+        return CampaignResult(scores=merged, stats=stats)
+
+    def run_units(
+        self,
+        units: Sequence[CampaignUnit],
+        detectors: DetectorBank,
+        corpus: SyntheticCorpus,
+    ) -> Tuple[List[ScoreSet], CampaignStats]:
+        """Score ``units``, returning per-unit results in input order.
+
+        This is the sharding primitive: callers that need results keyed
+        by unit (e.g. factor sweeps fanning several configurations into
+        one pool) use this instead of :meth:`run`.
+        """
+        workers = self._resolve_workers(len(units))
+        start = time.perf_counter()
+        if workers <= 1:
+            score_sets, unit_stats = self._run_serial(
+                units, detectors, corpus
+            )
+            mode = "serial"
+        else:
+            score_sets, unit_stats, mode = self._run_pool(
+                units, detectors, corpus, workers
+            )
+        stats = CampaignStats(
+            n_workers=workers,
+            mode=mode,
+            wall_s=time.perf_counter() - start,
+            units=unit_stats,
+        )
+        return score_sets, stats
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _resolve_workers(self, n_units: int) -> int:
+        workers = self.n_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(1, min(workers, n_units)) if n_units else 1
+
+    @staticmethod
+    def _run_serial(
+        units: Sequence[CampaignUnit],
+        detectors: DetectorBank,
+        corpus: SyntheticCorpus,
+        skip: int = 0,
+    ) -> Tuple[List[ScoreSet], List[UnitStats]]:
+        score_sets: List[ScoreSet] = []
+        unit_stats: List[UnitStats] = []
+        for unit in list(units)[skip:]:
+            unit_start = time.perf_counter()
+            score_sets.append(
+                score_campaign_unit(unit, detectors, corpus)
+            )
+            unit_stats.append(
+                UnitStats(
+                    label=unit.label,
+                    wall_s=time.perf_counter() - unit_start,
+                    n_samples=unit.n_samples,
+                )
+            )
+        return score_sets, unit_stats
+
+    def _run_pool(
+        self,
+        units: Sequence[CampaignUnit],
+        detectors: DetectorBank,
+        corpus: SyntheticCorpus,
+        workers: int,
+    ) -> Tuple[List[ScoreSet], List[UnitStats], str]:
+        score_sets: List[ScoreSet] = []
+        unit_stats: List[UnitStats] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(detectors, corpus),
+            ) as executor:
+                futures = [
+                    executor.submit(_score_unit_in_worker, unit)
+                    for unit in units
+                ]
+                # Collect in submission order: completion order varies
+                # between runs, merge order must not.
+                for unit, future in zip(units, futures):
+                    scores, wall_s = future.result()
+                    score_sets.append(scores)
+                    unit_stats.append(
+                        UnitStats(
+                            label=unit.label,
+                            wall_s=wall_s,
+                            n_samples=unit.n_samples,
+                        )
+                    )
+        except _POOL_ERRORS as error:
+            done = len(score_sets)
+            logger.warning(
+                "process pool failed after %d/%d units (%s: %s); "
+                "finishing serially",
+                done,
+                len(units),
+                type(error).__name__,
+                error,
+            )
+            tail_scores, tail_stats = self._run_serial(
+                units, detectors, corpus, skip=done
+            )
+            score_sets.extend(tail_scores)
+            unit_stats.extend(tail_stats)
+            return score_sets, unit_stats, "process-pool+serial-fallback"
+        return score_sets, unit_stats, "process-pool"

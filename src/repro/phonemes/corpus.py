@@ -9,6 +9,7 @@ for generating voice commands).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -98,6 +99,14 @@ class SyntheticCorpus:
         Shared phoneme synthesizer.
     seed:
         Base seed; all draws derive from it deterministically.
+    utterance_cache_size:
+        Capacity of the LRU cache for :meth:`utterance` results.  An
+        utterance is cacheable only when its draw is fully pinned — the
+        caller passes an *integer* seed and an explicit speaker — in
+        which case re-synthesis is a pure recomputation.  Campaigns and
+        factor sweeps repeat exactly such (phonemes, speaker, seed)
+        triples, so the cache removes redundant synthesis without ever
+        changing a result.  ``0`` disables caching.
 
     Examples
     --------
@@ -113,6 +122,7 @@ class SyntheticCorpus:
         synthesizer: Optional[PhonemeSynthesizer] = None,
         n_speakers: int = 10,
         seed: SeedLike = None,
+        utterance_cache_size: int = 128,
     ) -> None:
         self._rng = as_generator(seed)
         if speakers is None:
@@ -121,8 +131,18 @@ class SyntheticCorpus:
             )
         if not speakers:
             raise ConfigurationError("speaker pool must be non-empty")
+        if utterance_cache_size < 0:
+            raise ConfigurationError(
+                "utterance_cache_size must be >= 0"
+            )
         self.speakers: Tuple[SpeakerProfile, ...] = tuple(speakers)
         self.synthesizer = synthesizer or PhonemeSynthesizer()
+        self._utterance_cache: "OrderedDict[tuple, Utterance]" = (
+            OrderedDict()
+        )
+        self._utterance_cache_size = int(utterance_cache_size)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def sample_rate(self) -> float:
@@ -195,9 +215,28 @@ class SyntheticCorpus:
         coarticulation; the alignment records each phoneme's interval in
         the final waveform (crossfade regions are attributed to the later
         phoneme, as TIMIT's single-boundary alignments do).
+
+        When ``rng`` is an integer seed and ``speaker`` is given, the
+        result is memoized in an LRU cache: the same (phonemes, speaker,
+        seed) triple always synthesizes the same waveform, so repeated
+        commands — across attack kinds, factor-sweep values, or campaign
+        re-runs — are served without re-synthesis.
         """
         if not phoneme_sequence:
             raise ConfigurationError("phoneme_sequence must be non-empty")
+        cache_key = None
+        if (
+            self._utterance_cache_size > 0
+            and speaker is not None
+            and isinstance(rng, (int, np.integer))
+        ):
+            cache_key = (tuple(phoneme_sequence), speaker, text, int(rng))
+            cached = self._utterance_cache.get(cache_key)
+            if cached is not None:
+                self._utterance_cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
         generator = as_generator(rng) if rng is not None else self._rng
         if speaker is None:
             speaker = self.speakers[
@@ -243,10 +282,15 @@ class SyntheticCorpus:
                 )
             )
         waveform = np.concatenate(pieces)
-        return Utterance(
+        result = Utterance(
             waveform=waveform,
             sample_rate=sample_rate,
             alignment=tuple(intervals),
             speaker_id=speaker.speaker_id,
             text=text,
         )
+        if cache_key is not None:
+            self._utterance_cache[cache_key] = result
+            while len(self._utterance_cache) > self._utterance_cache_size:
+                self._utterance_cache.popitem(last=False)
+        return result

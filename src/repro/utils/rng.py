@@ -33,6 +33,20 @@ def as_generator(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def child_seed(rng: np.random.Generator, label: str) -> int:
+    """Derive an independent child *seed* keyed by ``label``.
+
+    Consumes exactly one draw from ``rng`` (the same draw
+    :func:`child_rng` makes), so ``as_generator(child_seed(rng, label))``
+    produces a stream identical to ``child_rng(rng, label)``.  The
+    integer form is hashable, which lets caches key synthesized material
+    on it (see :meth:`repro.phonemes.corpus.SyntheticCorpus.utterance`).
+    """
+    label_key = np.frombuffer(label.encode("utf-8"), dtype=np.uint8)
+    mix = int(label_key.sum()) + 1000003 * len(label_key)
+    return int(rng.integers(0, 2**63 - 1)) ^ mix
+
+
 def child_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     """Derive an independent child generator keyed by ``label``.
 
@@ -40,10 +54,7 @@ def child_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
     children of the same parent never share a stream, while the derivation
     stays deterministic for a given parent state.
     """
-    label_key = np.frombuffer(label.encode("utf-8"), dtype=np.uint8)
-    mix = int(label_key.sum()) + 1000003 * len(label_key)
-    seed = int(rng.integers(0, 2**63 - 1)) ^ mix
-    return np.random.default_rng(seed)
+    return np.random.default_rng(child_seed(rng, label))
 
 
 def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:

@@ -100,3 +100,43 @@ class TestScenario:
     def test_invalid_distance(self, room_config):
         with pytest.raises(ConfigurationError):
             AttackScenario(room_config=room_config, barrier_to_va_m=0.0)
+
+
+class TestPerCallDistance:
+    def test_override_matches_configured_scenario(self, room_config,
+                                                  corpus):
+        utterance = corpus.utterance(
+            ["ae", "t"], speaker=corpus.speakers[0], rng=40
+        )
+        base = AttackScenario(room_config=room_config)
+        configured = AttackScenario(
+            room_config=room_config, user_to_va_m=3.0
+        )
+        va_override, wear_override = base.legitimate_recordings(
+            utterance, spl_db=70.0, rng=41, user_to_va_m=3.0
+        )
+        va_config, wear_config = configured.legitimate_recordings(
+            utterance, spl_db=70.0, rng=41
+        )
+        np.testing.assert_array_equal(va_override, va_config)
+        np.testing.assert_array_equal(wear_override, wear_config)
+
+    def test_override_does_not_mutate_scenario(self, room_config, corpus):
+        utterance = corpus.utterance(
+            ["ae", "t"], speaker=corpus.speakers[0], rng=42
+        )
+        scenario = AttackScenario(room_config=room_config)
+        scenario.legitimate_recordings(
+            utterance, spl_db=70.0, rng=43, user_to_va_m=3.0
+        )
+        assert scenario.user_to_va_m == 2.0
+
+    def test_invalid_override_rejected(self, room_config, corpus):
+        utterance = corpus.utterance(
+            ["ae"], speaker=corpus.speakers[0], rng=44
+        )
+        scenario = AttackScenario(room_config=room_config)
+        with pytest.raises(ConfigurationError):
+            scenario.legitimate_recordings(
+                utterance, spl_db=70.0, rng=45, user_to_va_m=0.0
+            )

@@ -79,3 +79,30 @@ class TestSync:
     def test_invalid_config(self):
         with pytest.raises(ConfigurationError):
             SyncConfig(max_delay_s=0.0)
+
+
+class TestDetectorDecide:
+    def test_decide_is_single_source_of_truth(self, rng):
+        from repro.core.detector import CorrelationDetector, DetectorConfig
+
+        detector = CorrelationDetector(DetectorConfig(threshold=0.4))
+        a = rng.standard_normal((6, 8))
+        b = rng.standard_normal((6, 8))
+        assert detector.is_attack(a, b) == detector.decide(
+            detector.score(a, b)
+        )
+
+    def test_decide_boundary_semantics(self):
+        from repro.core.detector import CorrelationDetector, DetectorConfig
+
+        detector = CorrelationDetector(DetectorConfig(threshold=0.4))
+        # Attack iff strictly below the threshold.
+        assert detector.decide(0.4 - 1e-9)
+        assert not detector.decide(0.4)
+
+    def test_decide_requires_threshold(self):
+        from repro.core.detector import CorrelationDetector
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CorrelationDetector().decide(0.5)

@@ -102,3 +102,36 @@ def test_invalid_configs():
         FeatureConfig(n_fft=0)
     with pytest.raises(ConfigurationError):
         FeatureConfig(log_floor_db=1.0)
+
+
+class TestRelativeLogFloor:
+    """Without normalization the log floor must track the peak."""
+
+    def test_unnormalized_log_features_scale_invariant_pattern(self):
+        config = FeatureConfig(normalize=False, highpass_hz=0.0)
+        extractor = VibrationFeatureExtractor(config)
+        vibration = _vibration()
+        small = extractor.extract(vibration)
+        large = extractor.extract(1000.0 * vibration)
+        # Scaling the signal shifts every dB value (and the floor) by
+        # the same constant; the floored spectro-temporal pattern is
+        # preserved instead of being truncated by an absolute cutoff.
+        shift = 10.0 * np.log10(1000.0**2)
+        np.testing.assert_allclose(large, small + shift, rtol=0, atol=1e-6)
+
+    def test_floor_depth_relative_to_peak(self):
+        config = FeatureConfig(normalize=False, highpass_hz=0.0)
+        extractor = VibrationFeatureExtractor(config)
+        features = extractor.extract(1e-2 * _vibration())
+        assert features.min() >= features.max() + config.log_floor_db - 1e-4
+        # The floor actually engages (some bins sit on it).
+        assert np.any(
+            features <= features.max() + config.log_floor_db + 0.1
+        )
+
+    def test_normalized_path_unchanged(self):
+        config = FeatureConfig(highpass_hz=0.0)
+        extractor = VibrationFeatureExtractor(config)
+        features = extractor.extract(_vibration())
+        assert features.max() == pytest.approx(0.0, abs=1e-9)
+        assert features.min() >= config.log_floor_db

@@ -127,3 +127,32 @@ class TestBaselines:
         legit = baseline.score(va_l, wearable_l, rng=5)
         attack = baseline.score(va_a, wearable_a, rng=6)
         assert legit > attack
+
+
+class TestVerdictDelegation:
+    """Pipeline verdicts must come from the detector's threshold rule."""
+
+    def test_analyze_matches_detector_decide(self, legit_pair):
+        _, va, wearable = legit_pair
+        config = DefenseConfig(
+            detector=DetectorConfig(threshold=0.4)
+        )
+        pipeline = DefensePipeline(segmenter=None, config=config)
+        verdict = pipeline.analyze(va, wearable, rng=5)
+        assert verdict.is_attack == pipeline.detector.decide(verdict.score)
+
+    def test_analyze_matches_is_attack_boundary(self, legit_pair):
+        _, va, wearable = legit_pair
+        pipeline = DefensePipeline(segmenter=None)
+        score = pipeline.score(va, wearable, rng=5)
+        # Pin the threshold exactly at the observed score: the paper's
+        # rule is "attack iff score < threshold", so sitting on the
+        # boundary is legitimate — and pipeline and detector must agree.
+        boundary = DefensePipeline(
+            segmenter=None,
+            config=DefenseConfig(
+                detector=DetectorConfig(threshold=round(score, 6))
+            ),
+        )
+        verdict = boundary.analyze(va, wearable, rng=5)
+        assert verdict.is_attack == boundary.detector.decide(verdict.score)

@@ -101,3 +101,40 @@ def test_correlation_2d_constant_input_is_zero():
 def test_correlation_2d_scale_invariant(rng):
     a = rng.standard_normal((6, 6))
     assert correlation_2d(a, 3.5 * a + 2.0) == pytest.approx(1.0)
+
+
+def test_empty_input_raises_signal_error():
+    with pytest.raises(SignalError, match="reference"):
+        normalized_cross_correlation(np.array([]), np.ones(8), max_lag=4)
+    with pytest.raises(SignalError, match="other"):
+        normalized_cross_correlation(np.ones(8), np.array([]), max_lag=4)
+
+
+def test_delay_empty_input_names_argument():
+    with pytest.raises(SignalError, match="va_signal"):
+        cross_correlation_delay(np.array([]), np.ones(8), max_lag=4)
+    with pytest.raises(SignalError, match="wearable_signal"):
+        cross_correlation_delay(np.ones(8), np.array([]), max_lag=4)
+
+
+def test_align_empty_input_raises_signal_error():
+    with pytest.raises(SignalError):
+        align_by_cross_correlation(np.array([]), np.ones(8), max_lag=4)
+    with pytest.raises(SignalError):
+        align_by_cross_correlation(np.ones(8), np.array([]), max_lag=4)
+
+
+def test_align_single_sample_inputs():
+    va_a, wearable_a, delay = align_by_cross_correlation(
+        np.array([1.0]), np.array([1.0]), max_lag=4
+    )
+    assert delay == 0
+    assert va_a.size == wearable_a.size == 1
+
+
+def test_align_single_sample_against_long_signal(rng):
+    long_signal = _burst(rng)
+    va_a, wearable_a, _ = align_by_cross_correlation(
+        long_signal, np.array([0.5]), max_lag=10
+    )
+    assert va_a.size == wearable_a.size == 1

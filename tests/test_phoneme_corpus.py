@@ -88,3 +88,57 @@ def test_interval_validation():
 def test_empty_speaker_pool_rejected():
     with pytest.raises(ConfigurationError):
         SyntheticCorpus(speakers=[])
+
+
+class TestUtteranceCache:
+    def test_integer_seed_with_speaker_is_cached(self, male_speaker):
+        corpus = SyntheticCorpus(speakers=[male_speaker], seed=1)
+        first = corpus.utterance(["ae", "t"], speaker=male_speaker, rng=7)
+        second = corpus.utterance(["ae", "t"], speaker=male_speaker, rng=7)
+        assert second is first
+        assert corpus.cache_hits == 1
+        assert corpus.cache_misses == 1
+
+    def test_cached_result_matches_uncached_synthesis(self, male_speaker):
+        cached = SyntheticCorpus(speakers=[male_speaker], seed=1)
+        uncached = SyntheticCorpus(
+            speakers=[male_speaker], seed=1, utterance_cache_size=0
+        )
+        cached.utterance(["ae", "t"], speaker=male_speaker, rng=7)
+        a = cached.utterance(["ae", "t"], speaker=male_speaker, rng=7)
+        b = uncached.utterance(["ae", "t"], speaker=male_speaker, rng=7)
+        np.testing.assert_array_equal(a.waveform, b.waveform)
+        assert a.alignment == b.alignment
+
+    def test_different_seeds_are_distinct_entries(self, male_speaker):
+        corpus = SyntheticCorpus(speakers=[male_speaker], seed=1)
+        a = corpus.utterance(["ae"], speaker=male_speaker, rng=7)
+        b = corpus.utterance(["ae"], speaker=male_speaker, rng=8)
+        assert corpus.cache_hits == 0
+        assert not np.array_equal(a.waveform, b.waveform)
+
+    def test_generator_rng_bypasses_cache(self, male_speaker):
+        corpus = SyntheticCorpus(speakers=[male_speaker], seed=1)
+        corpus.utterance(
+            ["ae"], speaker=male_speaker, rng=np.random.default_rng(7)
+        )
+        assert corpus.cache_hits == 0
+        assert corpus.cache_misses == 0
+
+    def test_lru_eviction(self, male_speaker):
+        corpus = SyntheticCorpus(
+            speakers=[male_speaker], seed=1, utterance_cache_size=2
+        )
+        for seed in (1, 2, 3):
+            corpus.utterance(["ae"], speaker=male_speaker, rng=seed)
+        # Seed 1 was evicted; seeds 2 and 3 are still resident.
+        corpus.utterance(["ae"], speaker=male_speaker, rng=2)
+        corpus.utterance(["ae"], speaker=male_speaker, rng=1)
+        assert corpus.cache_hits == 1
+        assert corpus.cache_misses == 4
+
+    def test_invalid_cache_size(self, male_speaker):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus(
+                speakers=[male_speaker], utterance_cache_size=-1
+            )
