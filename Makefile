@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke bench examples clean
+.PHONY: install test test-fast smoke serve-smoke bench examples clean
 
 install:
 	pip install -e '.[test]'
@@ -18,6 +18,13 @@ test-fast:
 smoke:
 	$(PYTHON) -m pytest tests/test_eval_runner.py -q
 	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 --workers 2
+
+# Serving smoke: a tiny closed-loop run against the warm-pool service.
+# The command exits non-zero on any failed request, and the metrics
+# table (latency percentiles per stage) prints on stdout.
+serve-smoke:
+	$(PYTHON) -m repro loadgen --segmenter fast --workers 2 \
+		--requests 12 --concurrency 4 --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

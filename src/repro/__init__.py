@@ -12,6 +12,7 @@ from repro.errors import (
     ModelError,
     ProtocolError,
     ReproError,
+    ServiceOverloadError,
     SignalError,
     SynthesisError,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "ModelError",
     "ProtocolError",
     "CalibrationError",
+    "ServiceOverloadError",
     "DefenseConfig",
     "DefensePipeline",
     "DefenseVerdict",

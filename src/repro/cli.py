@@ -13,6 +13,12 @@ Commands
     print AUC/EER for the full system and both baselines.
 ``attack-study``
     Run the Table I-style VA vulnerability study.
+``serve``
+    Start the in-process online verification service, answer a few
+    self-test requests, and print the metrics snapshot.
+``loadgen``
+    Drive the service with a synthetic closed- or open-loop load and
+    print latency percentiles plus the service metrics snapshot.
 """
 
 from __future__ import annotations
@@ -78,6 +84,78 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = one per CPU core; results are identical for any count)"
         ),
     )
+
+    for name, help_text in (
+        ("serve", "online verification service self-test"),
+        ("loadgen", "synthetic load against the in-process service"),
+    ):
+        serving = sub.add_parser(name, help=help_text)
+        serving.add_argument("--seed", type=int, default=0)
+        serving.add_argument(
+            "--workers", type=int, default=2,
+            help="warm verification workers (>= 1)",
+        )
+        serving.add_argument(
+            "--worker-mode", choices=["thread", "process"],
+            default="thread",
+        )
+        serving.add_argument(
+            "--queue-capacity", type=int, default=64,
+            help="bound of the admission queue",
+        )
+        serving.add_argument(
+            "--policy",
+            choices=["block", "reject", "shed-oldest"],
+            default="block",
+            help="backpressure policy when the queue is full",
+        )
+        serving.add_argument(
+            "--max-wait", type=float, default=0.02, metavar="S",
+            help="micro-batch formation deadline in seconds",
+        )
+        serving.add_argument(
+            "--batch-size", type=int, default=8,
+            help="largest micro-batch dispatched to one worker",
+        )
+        serving.add_argument(
+            "--deadline", type=float, default=None, metavar="S",
+            help=(
+                "per-request deadline in seconds; expired requests "
+                "degrade to the full-recording fallback"
+            ),
+        )
+        serving.add_argument(
+            "--segmenter",
+            choices=["none", "fast", "paper"],
+            default="fast",
+            help=(
+                "segmenter recipe workers warm up with: none (skip "
+                "segmentation), fast (tiny training set), paper "
+                "(full recipe; slow startup)"
+            ),
+        )
+        if name == "serve":
+            serving.add_argument(
+                "--requests", type=int, default=6,
+                help="self-test requests to answer before exiting",
+            )
+        else:
+            serving.add_argument(
+                "--requests", type=int, default=50,
+                help="total requests to issue",
+            )
+            serving.add_argument(
+                "--mode", choices=["closed", "open"], default="closed",
+                help="closed loop (concurrency) or open loop (rate)",
+            )
+            serving.add_argument(
+                "--concurrency", type=int, default=4,
+                help="closed-loop client count",
+            )
+            serving.add_argument(
+                "--rate", type=float, default=20.0, metavar="RPS",
+                help="open-loop arrival rate",
+            )
     return parser
 
 
@@ -254,6 +332,131 @@ def _cmd_attack_study(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_service_config(args: argparse.Namespace):
+    """Validate serving arguments up front, before any worker warms.
+
+    Invalid durations and bounds (negative ``--max-wait``, zero
+    ``--queue-capacity``, non-positive ``--deadline``, ...) raise
+    :class:`repro.errors.ConfigurationError` inside
+    ``ServiceConfig``; this maps them to the same ``SystemExit``
+    shape as the negative ``--workers`` rejection.
+    """
+    from repro.errors import ConfigurationError
+    from repro.serve import ServiceConfig
+
+    try:
+        return ServiceConfig(
+            n_workers=args.workers,
+            worker_mode=args.worker_mode,
+            queue_capacity=args.queue_capacity,
+            backpressure=args.policy,
+            max_batch_size=args.batch_size,
+            max_wait_s=args.max_wait,
+            default_deadline_s=args.deadline,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _resolve_pipeline_spec(args: argparse.Namespace):
+    """Map ``--segmenter {none,fast,paper}`` to a worker recipe."""
+    from repro.serve import PipelineSpec
+
+    if args.segmenter == "none":
+        return PipelineSpec(use_segmenter=False)
+    if args.segmenter == "fast":
+        return PipelineSpec(
+            segmenter_seed=args.seed,
+            n_speakers=2,
+            n_per_phoneme=3,
+            epochs=3,
+        )
+    return PipelineSpec(segmenter_seed=args.seed)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.eval.reporting import format_service_metrics
+    from repro.serve import (
+        LoadgenConfig,
+        VerificationService,
+        build_recording_pool,
+        run_loadgen,
+    )
+
+    config = _resolve_service_config(args)
+    spec = _resolve_pipeline_spec(args)
+    try:
+        selftest = LoadgenConfig(
+            n_requests=args.requests,
+            concurrency=min(args.requests, 4),
+            seed=args.seed,
+            deadline_s=args.deadline,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(f"Warming {config.n_workers} worker(s)...")
+    with VerificationService(spec, config) as service:
+        pool = build_recording_pool(
+            seed=args.seed, pool_size=min(args.requests, 6)
+        )
+        report = run_loadgen(service, selftest, pool=pool)
+        metrics = service.metrics()
+    print(
+        f"self-test: {report.n_served}/{report.n_issued} served, "
+        f"{report.n_failed} failed"
+    )
+    print(format_service_metrics(metrics))
+    return 1 if report.n_failed else 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.eval.reporting import format_service_metrics
+    from repro.serve import (
+        LoadgenConfig,
+        VerificationService,
+        run_loadgen,
+    )
+
+    config = _resolve_service_config(args)
+    spec = _resolve_pipeline_spec(args)
+    try:
+        loadgen_config = LoadgenConfig(
+            n_requests=args.requests,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            rate_rps=args.rate,
+            seed=args.seed,
+            deadline_s=args.deadline,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(f"Warming {config.n_workers} worker(s)...")
+    with VerificationService(spec, config) as service:
+        report = run_loadgen(service, loadgen_config)
+        metrics = service.metrics()
+    degraded = (
+        f" ({report.n_degraded} degraded)" if report.n_degraded else ""
+    )
+    print(
+        f"loadgen[{report.mode}]: {report.n_issued} issued, "
+        f"{report.n_served} served{degraded}, "
+        f"{report.n_rejected} rejected, {report.n_shed} shed, "
+        f"{report.n_failed} failed in {report.wall_s:.2f}s "
+        f"({report.throughput_rps:.2f} req/s)"
+    )
+    if report.latencies_s:
+        print(
+            "latency p50/p95/p99: "
+            f"{report.latency_percentile(50) * 1e3:.1f} / "
+            f"{report.latency_percentile(95) * 1e3:.1f} / "
+            f"{report.latency_percentile(99) * 1e3:.1f} ms"
+        )
+    print(format_service_metrics(metrics))
+    return 1 if report.n_failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -262,6 +465,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "select": _cmd_select,
         "evaluate": _cmd_evaluate,
         "attack-study": _cmd_attack_study,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

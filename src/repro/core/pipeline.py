@@ -8,8 +8,9 @@ feature extraction → 2-D-correlation attack detection.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +91,18 @@ class DefenseVerdict:
     sync_delay_s: float
 
 
+#: Stage keys reported by :meth:`DefensePipeline.analyze_timed`, in
+#: execution order.  The serving layer aggregates latency percentiles
+#: per stage under these names.
+PIPELINE_STAGES: Tuple[str, ...] = (
+    "sync",
+    "segment",
+    "sense",
+    "features",
+    "detect",
+)
+
+
 class DefensePipeline:
     """Training-free thru-barrier attack detection system.
 
@@ -123,12 +136,45 @@ class DefensePipeline:
             self.config.features, sample_rate=self.sensor.vibration_rate
         )
 
+    @classmethod
+    def warm(
+        cls,
+        seed: Optional[int] = None,
+        sensor: Optional[CrossDomainSensor] = None,
+        config: Optional[DefenseConfig] = None,
+        n_speakers: int = 8,
+        n_per_phoneme: int = 12,
+        epochs: int = 12,
+    ) -> "DefensePipeline":
+        """Pipeline backed by a cached (memoized) trained segmenter.
+
+        Repeated calls with the same training recipe share one trained
+        bidirectional-LSTM instance instead of retraining per pipeline
+        — the construction path for serving workers and repeated CLI
+        invocations.  Scores are bitwise identical to a pipeline built
+        around a fresh ``train_default_segmenter(seed)`` because
+        training is deterministic in the seed.
+        """
+        from repro.core.segmentation import default_segmenter
+
+        return cls(
+            segmenter=default_segmenter(
+                seed=seed,
+                n_speakers=n_speakers,
+                n_per_phoneme=n_per_phoneme,
+                epochs=epochs,
+            ),
+            sensor=sensor,
+            config=config,
+        )
+
     def analyze(
         self,
         va_audio: np.ndarray,
         wearable_audio: np.ndarray,
         rng: SeedLike = None,
         oracle_utterance: Optional[Utterance] = None,
+        skip_segmentation: bool = False,
     ) -> DefenseVerdict:
         """Analyze one voice command captured by both devices.
 
@@ -141,22 +187,65 @@ class DefensePipeline:
         oracle_utterance:
             When given (ablation/testing), segments come from the
             utterance's ground-truth alignment instead of the BRNN.
+        skip_segmentation:
+            Bypass phoneme segmentation and analyze the full recordings
+            (the fallback path short material already takes).  The
+            serving layer uses this to degrade gracefully when a
+            request's deadline has expired.
 
         Returns
         -------
         DefenseVerdict
         """
+        verdict, _ = self.analyze_timed(
+            va_audio,
+            wearable_audio,
+            rng=rng,
+            oracle_utterance=oracle_utterance,
+            skip_segmentation=skip_segmentation,
+        )
+        return verdict
+
+    # ``verify`` is the serving layer's vocabulary for the same
+    # operation: one request in, one verdict out.
+    verify = analyze
+
+    def analyze_timed(
+        self,
+        va_audio: np.ndarray,
+        wearable_audio: np.ndarray,
+        rng: SeedLike = None,
+        oracle_utterance: Optional[Utterance] = None,
+        skip_segmentation: bool = False,
+    ) -> Tuple[DefenseVerdict, Dict[str, float]]:
+        """:meth:`analyze`, plus per-stage wall-clock seconds.
+
+        The returned dict has one entry per :data:`PIPELINE_STAGES`
+        key.  Timing instrumentation never affects the verdict: the
+        stages consume the same RNG streams in the same order as
+        :meth:`analyze`.
+        """
+        timings: Dict[str, float] = {}
         generator = as_generator(rng)
         config = self.config
+
+        start = time.perf_counter()
         va_aligned, wearable_aligned, delay_s = synchronize_recordings(
             va_audio, wearable_audio, config.audio_rate, config.sync
         )
+        timings["sync"] = time.perf_counter() - start
 
-        segments = self._find_segments(va_aligned, oracle_utterance)
+        start = time.perf_counter()
+        if skip_segmentation:
+            segments: List[Tuple[float, float]] = []
+        else:
+            segments = self._find_segments(va_aligned, oracle_utterance)
         va_material, wearable_material, n_segments = self._extract_material(
             va_aligned, wearable_aligned, segments
         )
+        timings["segment"] = time.perf_counter() - start
 
+        start = time.perf_counter()
         vibration_va = self.sensor.convert(
             va_material, config.audio_rate,
             rng=child_rng(generator, "replay-va"),
@@ -167,20 +256,28 @@ class DefensePipeline:
             rng=child_rng(generator, "replay-wearable"),
             include_body_motion=config.wearer_moving,
         )
+        timings["sense"] = time.perf_counter() - start
+
+        start = time.perf_counter()
         features_va = self._extractor.extract(vibration_va)
         features_wearable = self._extractor.extract(vibration_wearable)
-        score = self.detector.score(features_va, features_wearable)
+        timings["features"] = time.perf_counter() - start
 
+        start = time.perf_counter()
+        score = self.detector.score(features_va, features_wearable)
         is_attack: Optional[bool] = None
         if config.detector.threshold is not None:
             is_attack = self.detector.decide(score)
-        return DefenseVerdict(
+        timings["detect"] = time.perf_counter() - start
+
+        verdict = DefenseVerdict(
             score=score,
             is_attack=is_attack,
             n_segments=n_segments,
             analyzed_duration_s=va_material.size / config.audio_rate,
             sync_delay_s=delay_s,
         )
+        return verdict, timings
 
     def score(
         self,

@@ -15,6 +15,7 @@ straight from alignments is provided for ablations.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -519,6 +520,8 @@ def train_default_segmenter(
 
     Takes a few seconds on a laptop; used by examples and benchmarks
     that need the full online pipeline rather than oracle segmentation.
+    Callers that construct many pipelines from the same seed should use
+    :func:`default_segmenter`, which memoizes the trained model.
     """
     generator = as_generator(seed)
     corpus = SyntheticCorpus(
@@ -532,6 +535,50 @@ def train_default_segmenter(
         rng=child_rng(generator, "train"),
     )
     return segmenter
+
+
+# Trained segmenters keyed by their full training recipe.  Training is
+# deterministic in the integer seed, so a cached model is bitwise
+# identical to a freshly trained one — the warm path changes cost, not
+# scores (pinned by tests/test_serve_warm.py).
+_WARM_SEGMENTERS: dict = {}
+_WARM_LOCK = threading.Lock()
+
+
+def default_segmenter(
+    seed: Optional[int] = None,
+    n_speakers: int = 8,
+    n_per_phoneme: int = 12,
+    epochs: int = 12,
+) -> PhonemeSegmenter:
+    """Memoized :func:`train_default_segmenter`.
+
+    Repeated calls with the same recipe return the *same* trained
+    instance, so warm worker pools, examples, and CLI commands stop
+    retraining the bidirectional LSTM per invocation.  Inference is
+    read-only (the forward pass never consumes model state), so sharing
+    one instance across threads is safe.  Only integer (or ``None``)
+    seeds are cacheable; pass a ``Generator`` to
+    :func:`train_default_segmenter` directly when a one-off model is
+    wanted.
+    """
+    if seed is not None:
+        seed = int(seed)
+    key = (seed, int(n_speakers), int(n_per_phoneme), int(epochs))
+    with _WARM_LOCK:
+        cached = _WARM_SEGMENTERS.get(key)
+    if cached is not None:
+        return cached
+    segmenter = train_default_segmenter(
+        seed=seed,
+        n_speakers=n_speakers,
+        n_per_phoneme=n_per_phoneme,
+        epochs=epochs,
+    )
+    with _WARM_LOCK:
+        # Another thread may have trained the same recipe concurrently;
+        # keep the first so every caller shares one instance.
+        return _WARM_SEGMENTERS.setdefault(key, segmenter)
 
 
 def build_training_pairs(

@@ -38,3 +38,12 @@ class ProtocolError(ReproError):
 
 class CalibrationError(ReproError):
     """Detector calibration failed (e.g., degenerate score distributions)."""
+
+
+class ServiceOverloadError(ReproError):
+    """The online verification service shed or refused a request.
+
+    Raised when a bounded request queue is full under the ``reject``
+    backpressure policy (or a ``block`` enqueue timed out), and attached
+    to the responses of requests dropped by the ``shed-oldest`` policy.
+    """

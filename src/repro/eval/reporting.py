@@ -131,6 +131,72 @@ def format_runner_stats(stats, max_units: int = 12) -> str:
     return "\n".join(lines)
 
 
+def format_service_metrics(metrics) -> str:
+    """Render a :class:`repro.serve.metrics.ServiceMetrics` snapshot.
+
+    Mirrors :func:`format_runner_stats`: a headline counters block
+    followed by a fixed-width latency-percentile table with one row per
+    pipeline stage plus queue wait and end-to-end latency (all in
+    milliseconds).
+    """
+    degraded = (
+        f" ({metrics.n_degraded} degraded)" if metrics.n_degraded else ""
+    )
+    lines = [
+        (
+            f"service: {metrics.n_submitted} submitted, "
+            f"{metrics.n_served} served{degraded}, "
+            f"{metrics.n_rejected} rejected, {metrics.n_shed} shed, "
+            f"{metrics.n_failed} failed"
+        ),
+        (
+            f"batches: {metrics.n_batches} "
+            f"(mean size {metrics.mean_batch_size:.2f}); "
+            f"queue depth {metrics.queue_depth}, "
+            f"pending {metrics.n_pending}; "
+            f"{metrics.wall_s:.2f}s wall, "
+            f"{metrics.throughput_rps:.2f} req/s"
+        ),
+    ]
+    rows = []
+
+    def add_row(label, summary):
+        if summary is None:
+            return
+        rows.append(
+            (
+                label,
+                summary.count,
+                f"{summary.p50_s * 1e3:.1f}",
+                f"{summary.p95_s * 1e3:.1f}",
+                f"{summary.p99_s * 1e3:.1f}",
+            )
+        )
+
+    from repro.core.pipeline import PIPELINE_STAGES
+
+    ordered = [
+        stage for stage in PIPELINE_STAGES
+        if stage in metrics.stage_latency
+    ] + [
+        stage for stage in sorted(metrics.stage_latency)
+        if stage not in PIPELINE_STAGES
+    ]
+    for stage in ordered:
+        add_row(stage, metrics.stage_latency[stage])
+    add_row("queue-wait", metrics.queue_wait)
+    add_row("total", metrics.total_latency)
+    if rows:
+        lines.append(
+            format_table(
+                ["stage", "n", "p50 ms", "p95 ms", "p99 ms"],
+                rows,
+                title="latency percentiles",
+            )
+        )
+    return "\n".join(lines)
+
+
 def sparkline(values: Sequence[float], width: int = 40) -> str:
     """Tiny unicode sparkline for quick visual sanity checks."""
     blocks = "▁▂▃▄▅▆▇█"

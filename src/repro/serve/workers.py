@@ -1,0 +1,311 @@
+"""Warm persistent worker pool for the verification service.
+
+Workers are expensive to make ready: the defense's bidirectional-LSTM
+segmenter must be trained before the first verdict.  The pool therefore
+trains **once per worker at startup** via a pool initializer — not per
+request, as the one-shot CLI paths used to — and keeps the resulting
+:class:`~repro.core.pipeline.DefensePipeline` instances alive across
+batches.  Per-request determinism is preserved: a verdict depends only
+on the pipeline spec, the recordings, and the request's integer seed,
+so any worker (thread or process, warm or cold) returns bitwise the
+same answer as a direct ``DefensePipeline.verify`` call.
+
+Two execution modes share one code path:
+
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` whose workers
+    share this process's memoized segmenter (training happens once per
+    process).  LSTM inference is read-only, so sharing is safe.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` with an
+    initializer that builds the warm pipeline in each worker process.
+    Falls back to threads when the platform cannot spawn processes,
+    mirroring :class:`repro.eval.runner.CampaignRunner`.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import threading
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detector import DetectorConfig
+from repro.core.pipeline import DefenseConfig, DefensePipeline
+from repro.core.segmentation import PhonemeSegmenter, default_segmenter
+from repro.errors import ConfigurationError
+from repro.serve.batching import Batch
+from repro.serve.request import VerificationRequest
+from repro.utils.rng import stable_fingerprint
+
+logger = logging.getLogger(__name__)
+
+#: Pool-spawn failures that trigger the thread fallback.
+_POOL_ERRORS = (BrokenExecutor, OSError, pickle.PicklingError)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Picklable recipe for building a warm verification pipeline.
+
+    Attributes
+    ----------
+    use_segmenter:
+        Train and use the BRNN phoneme segmenter (the full system);
+        ``False`` serves the no-selection fallback only.
+    segmenter_seed:
+        Seed of the segmenter training recipe.
+    n_speakers / n_per_phoneme / epochs:
+        Training-set sizing (scaled down for smokes, paper-sized for
+        real serving).
+    threshold:
+        Optional detector threshold; ``None`` reports scores only.
+    min_audio_s:
+        Minimum concatenated-segment material before the pipeline
+        falls back to full recordings.
+    """
+
+    use_segmenter: bool = True
+    segmenter_seed: int = 0
+    n_speakers: int = 8
+    n_per_phoneme: int = 12
+    epochs: int = 12
+    threshold: Optional[float] = None
+    min_audio_s: float = 0.25
+
+    @property
+    def fingerprint(self) -> int:
+        """Stable config hash (part of the batch-compatibility key)."""
+        return stable_fingerprint(
+            self.use_segmenter,
+            self.segmenter_seed,
+            self.n_speakers,
+            self.n_per_phoneme,
+            self.epochs,
+            self.threshold,
+            self.min_audio_s,
+        )
+
+    def build_segmenter(self) -> Optional[PhonemeSegmenter]:
+        """Train (or fetch the memoized) segmenter for this spec."""
+        if not self.use_segmenter:
+            return None
+        return default_segmenter(
+            seed=self.segmenter_seed,
+            n_speakers=self.n_speakers,
+            n_per_phoneme=self.n_per_phoneme,
+            epochs=self.epochs,
+        )
+
+    def build_pipeline(
+        self, audio_rate: float, wearer_moving: bool
+    ) -> DefensePipeline:
+        """Pipeline for one batch-compatibility class."""
+        return DefensePipeline(
+            segmenter=self.build_segmenter(),
+            config=DefenseConfig(
+                audio_rate=float(audio_rate),
+                detector=DetectorConfig(threshold=self.threshold),
+                min_audio_s=self.min_audio_s,
+                wearer_moving=bool(wearer_moving),
+            ),
+        )
+
+
+@dataclass
+class WorkerResult:
+    """Picklable per-request outcome returned by a worker."""
+
+    request_id: str
+    verdict: object = None
+    degraded: bool = False
+    stage_timings_s: Dict[str, float] = field(default_factory=dict)
+    exec_s: float = 0.0
+    error: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Worker-process / worker-thread pipeline cache.  The pool initializer
+# trains the segmenter eagerly (warm start); batches then reuse
+# per-(spec, rate, motion) pipelines.  Keys include the spec
+# fingerprint so several services with different specs can coexist in
+# one process (thread mode) without crosstalk.
+# ----------------------------------------------------------------------
+
+_WORKER_PIPELINES: Dict[
+    Tuple[int, float, bool], DefensePipeline
+] = {}
+_WORKER_LOCK = threading.Lock()
+
+
+def _init_worker(spec: PipelineSpec) -> None:
+    """Pool initializer: make the worker warm before the first batch."""
+    # Train eagerly so the first request does not pay the cost; the
+    # result is memoized by default_segmenter for this process.
+    spec.build_segmenter()
+
+
+def _worker_pipeline(
+    spec: PipelineSpec, key: Tuple[float, bool]
+) -> DefensePipeline:
+    cache_key = (spec.fingerprint,) + key
+    with _WORKER_LOCK:
+        pipeline = _WORKER_PIPELINES.get(cache_key)
+        if pipeline is None:
+            pipeline = _WORKER_PIPELINES[cache_key] = (
+                spec.build_pipeline(*key)
+            )
+        return pipeline
+
+
+def execute_batch(
+    payload: Tuple[
+        PipelineSpec,
+        Tuple[float, bool],
+        List[Tuple[VerificationRequest, float]],
+    ],
+) -> List[WorkerResult]:
+    """Run one micro-batch on this worker's warm pipeline.
+
+    ``payload`` is the pipeline spec, the batch key, and
+    ``(request, age_at_dispatch_s)`` pairs; ages accrue further while
+    earlier batch members execute, so deadline checks see the request's
+    true total wait.  A request whose deadline already expired is not
+    dropped — it degrades to the full-recording fallback (segmentation
+    skipped).  Per-request errors never poison batch-mates.
+    """
+    spec, key, items = payload
+    pipeline = _worker_pipeline(spec, key)
+    batch_start = time.perf_counter()
+    results: List[WorkerResult] = []
+    for request, age_at_dispatch_s in items:
+        start = time.perf_counter()
+        age_s = age_at_dispatch_s + (start - batch_start)
+        degraded = (
+            request.deadline_s is not None
+            and age_s >= request.deadline_s
+        )
+        try:
+            verdict, timings = pipeline.analyze_timed(
+                request.va_audio,
+                request.wearable_audio,
+                rng=int(request.seed),
+                oracle_utterance=request.oracle_utterance,
+                skip_segmentation=degraded,
+            )
+            results.append(
+                WorkerResult(
+                    request_id=request.request_id,
+                    verdict=verdict,
+                    degraded=degraded,
+                    stage_timings_s=timings,
+                    exec_s=time.perf_counter() - start,
+                )
+            )
+        except Exception as error:  # noqa: BLE001 — reported per request
+            results.append(
+                WorkerResult(
+                    request_id=request.request_id,
+                    degraded=degraded,
+                    exec_s=time.perf_counter() - start,
+                    error=f"{type(error).__name__}: {error}",
+                )
+            )
+    return results
+
+
+class WarmWorkerPool:
+    """Persistent executor whose workers hold trained pipelines.
+
+    Parameters
+    ----------
+    spec:
+        Pipeline recipe every worker warms up with.
+    n_workers:
+        Pool size (>= 1).
+    mode:
+        ``"thread"`` (default) or ``"process"``; process pools fall
+        back to threads if spawning fails.
+    """
+
+    def __init__(
+        self,
+        spec: PipelineSpec,
+        n_workers: int = 2,
+        mode: str = "thread",
+    ) -> None:
+        if int(n_workers) < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if mode not in ("thread", "process"):
+            raise ConfigurationError(
+                f"mode must be 'thread' or 'process', got {mode!r}"
+            )
+        self.spec = spec
+        self.n_workers = int(n_workers)
+        self.mode = mode
+        self.realized_mode: Optional[str] = None
+        self._executor = None
+
+    def start(self) -> None:
+        """Spawn the executor and warm every worker."""
+        if self._executor is not None:
+            return
+        if self.mode == "process":
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    initializer=_init_worker,
+                    initargs=(self.spec,),
+                )
+                # Force worker spawn (and initializer failures) now by
+                # running one empty batch per worker.
+                probe = (self.spec, (16_000.0, False), [])
+                for future in [
+                    executor.submit(execute_batch, probe)
+                    for _ in range(self.n_workers)
+                ]:
+                    future.result()
+                self._executor = executor
+                self.realized_mode = "process"
+                return
+            except _POOL_ERRORS as error:
+                logger.warning(
+                    "process pool unavailable (%s: %s); "
+                    "falling back to threads",
+                    type(error).__name__,
+                    error,
+                )
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.n_workers,
+            thread_name_prefix="verify-worker",
+            initializer=_init_worker,
+            initargs=(self.spec,),
+        )
+        self.realized_mode = "thread"
+
+    def submit(
+        self, batch: Batch, ages_s: List[float]
+    ) -> "Future[List[WorkerResult]]":
+        """Dispatch one micro-batch; returns the executor future."""
+        if self._executor is None:
+            raise ConfigurationError("pool not started; call start()")
+        items = list(zip(batch.entries, ages_s))
+        return self._executor.submit(
+            execute_batch, (self.spec, batch.key, items)
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None

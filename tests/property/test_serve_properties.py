@@ -1,0 +1,145 @@
+"""Property-based tests on serving-layer scheduling invariants.
+
+The micro-batch scheduler and bounded queue are modelled with plain
+data (integers as requests), driven by hypothesis-generated traces:
+
+* FIFO order is preserved within every batch-compatibility class, for
+  any interleaving of offers and dispatch opportunities.
+* A request is dispatched exactly once — never duplicated across
+  batches, never both refused and dispatched.
+* Shed counts match the queue-bound arithmetic of the offered trace.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceOverloadError
+from repro.serve.batching import BatchingConfig, MicroBatchScheduler
+from repro.serve.queue import BackpressurePolicy, BoundedRequestQueue
+
+# One trace event: which compatibility class the next request belongs
+# to (None = a dispatch opportunity instead of an arrival).
+trace_events = st.lists(
+    st.one_of(st.sampled_from(["a", "b", "c"]), st.none()),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(
+    trace_events,
+    st.integers(min_value=1, max_value=7),
+    st.floats(min_value=0.0, max_value=0.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_scheduler_fifo_and_exactly_once(events, batch_size, max_wait):
+    scheduler = MicroBatchScheduler(
+        BatchingConfig(max_batch_size=batch_size, max_wait_s=max_wait)
+    )
+    offered = {"a": [], "b": [], "c": []}
+    dispatched = {"a": [], "b": [], "c": []}
+    now = 0.0
+    next_id = 0
+    for event in events:
+        now += 0.1
+        if event is None:
+            for batch in scheduler.ready_batches(now):
+                assert len(batch) <= batch_size
+                dispatched[batch.key].extend(batch.entries)
+        else:
+            scheduler.offer(next_id, key=event, now=now)
+            offered[event].append(next_id)
+            next_id += 1
+    for batch in scheduler.flush():
+        assert len(batch) <= batch_size
+        dispatched[batch.key].extend(batch.entries)
+    # Exactly-once, FIFO within class: the dispatch order per class is
+    # literally the offer order, with nothing lost or duplicated.
+    assert dispatched == offered
+
+
+@given(trace_events, st.integers(min_value=1, max_value=7))
+@settings(max_examples=80, deadline=None)
+def test_scheduler_max_wait_zero_never_leaves_backlog(events, batch_size):
+    scheduler = MicroBatchScheduler(
+        BatchingConfig(max_batch_size=batch_size, max_wait_s=0.0)
+    )
+    now = 0.0
+    for event in events:
+        now += 0.1
+        if event is not None:
+            scheduler.offer(object(), key=event, now=now)
+        scheduler.ready_batches(now)
+        # With a zero formation deadline every dispatch opportunity
+        # clears the backlog completely.
+        assert scheduler.n_pending == 0
+
+
+# One queue op: True = put, False = get.
+queue_ops = st.lists(st.booleans(), min_size=1, max_size=80)
+
+
+@given(queue_ops, st.integers(min_value=1, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_shed_counts_match_queue_bound_arithmetic(ops, capacity):
+    queue = BoundedRequestQueue(
+        capacity=capacity, policy=BackpressurePolicy.SHED_OLDEST
+    )
+    expected_shed = 0
+    depth = 0
+    next_id = 0
+    admitted = []
+    shed_entries = []
+    popped = []
+    for is_put in ops:
+        if is_put:
+            if depth == capacity:
+                expected_shed += 1
+            else:
+                depth += 1
+            shed = queue.put(next_id)
+            admitted.append(next_id)
+            if shed is not None:
+                shed_entries.append(shed)
+            next_id += 1
+        else:
+            entry = queue.get(timeout_s=0)
+            if entry is not None:
+                popped.append(entry)
+                depth -= 1
+    assert queue.n_shed == expected_shed == len(shed_entries)
+    assert queue.depth == depth
+    # Every admitted entry lands in exactly one bucket: shed, popped,
+    # or still queued — no loss, no duplication.
+    remaining = queue.drain()
+    accounted = sorted(shed_entries + popped + remaining)
+    assert accounted == admitted
+
+
+@given(queue_ops, st.integers(min_value=1, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_rejected_entries_never_served(ops, capacity):
+    queue = BoundedRequestQueue(
+        capacity=capacity, policy=BackpressurePolicy.REJECT
+    )
+    rejected = []
+    admitted = []
+    popped = []
+    next_id = 0
+    for is_put in ops:
+        if is_put:
+            try:
+                queue.put(next_id)
+                admitted.append(next_id)
+            except ServiceOverloadError:
+                rejected.append(next_id)
+            next_id += 1
+        else:
+            entry = queue.get(timeout_s=0)
+            if entry is not None:
+                popped.append(entry)
+    remaining = queue.drain()
+    # No entry is both rejected and (eventually) served.
+    assert not set(rejected) & set(popped + remaining)
+    assert sorted(popped + remaining) == admitted
+    assert queue.n_rejected == len(rejected)

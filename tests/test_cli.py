@@ -29,6 +29,65 @@ def test_demo_command(capsys):
     assert "attack detected" in captured
 
 
+def test_serve_command(capsys):
+    exit_code = main(
+        [
+            "serve",
+            "--segmenter", "none",
+            "--workers", "2",
+            "--requests", "4",
+            "--seed", "11",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "self-test: 4/4 served" in captured
+    assert "p50 ms" in captured
+    assert "queue-wait" in captured
+
+
+def test_loadgen_command(capsys):
+    exit_code = main(
+        [
+            "loadgen",
+            "--segmenter", "none",
+            "--workers", "2",
+            "--requests", "8",
+            "--concurrency", "4",
+            "--seed", "11",
+        ]
+    )
+    captured = capsys.readouterr().out
+    assert exit_code == 0
+    assert "loadgen[closed]: 8 issued, 8 served" in captured
+    assert "latency p50/p95/p99" in captured
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        ["--workers", "0"],
+        ["--queue-capacity", "0"],
+        ["--max-wait", "-0.5"],
+        ["--batch-size", "0"],
+        ["--deadline", "-1"],
+        ["--policy", "block", "--max-wait", "-1"],
+    ],
+)
+@pytest.mark.parametrize("command", ["serve", "loadgen"])
+def test_serving_invalid_durations_exit_early(command, flags):
+    """Bad bounds/durations die before any worker warms up."""
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--segmenter", "none", *flags])
+    assert "error:" in str(excinfo.value)
+
+
+def test_loadgen_invalid_rate_exits():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["loadgen", "--segmenter", "none", "--rate", "0"])
+    assert "error:" in str(excinfo.value)
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["not-a-command"])

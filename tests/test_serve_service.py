@@ -1,0 +1,270 @@
+"""Verification service: determinism, deadlines, backpressure, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PIPELINE_STAGES, DefensePipeline
+from repro.errors import ConfigurationError, ServiceOverloadError
+from repro.serve import (
+    PipelineSpec,
+    RequestStatus,
+    ServiceConfig,
+    VerificationRequest,
+    VerificationService,
+)
+
+AUDIO_RATE = 16_000.0
+
+
+def make_pair(seed, n_samples=8_000):
+    """A small synthetic recording pair (noise is enough to verify)."""
+    rng = np.random.default_rng(seed)
+    va = rng.normal(0.0, 0.1, n_samples)
+    wearable = 0.8 * va + rng.normal(0.0, 0.02, n_samples)
+    return va, wearable
+
+
+def make_request(seed, **kwargs):
+    va, wearable = make_pair(seed)
+    kwargs.setdefault("request_id", f"req-{seed}")
+    return VerificationRequest(
+        va_audio=va, wearable_audio=wearable, seed=seed, **kwargs
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_spec():
+    """Segmenter-free spec: requests run the no-selection pipeline."""
+    return PipelineSpec(use_segmenter=False)
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, fast_spec):
+        service = VerificationService(fast_spec)
+        with pytest.raises(ConfigurationError):
+            service.submit(make_request(0))
+
+    def test_context_manager_serves_and_stops(self, fast_spec):
+        with VerificationService(
+            fast_spec, ServiceConfig(n_workers=2)
+        ) as service:
+            response = service.verify(make_request(1))
+        assert response.status is RequestStatus.SERVED
+        assert response.verdict is not None
+        # A second start/stop cycle is a no-op-safe sequence.
+        service.stop()
+
+    def test_stop_drains_pending_requests(self, fast_spec):
+        service = VerificationService(
+            fast_spec,
+            ServiceConfig(n_workers=1, max_wait_s=5.0, max_batch_size=64),
+        )
+        service.start()
+        futures = [service.submit(make_request(seed)) for seed in range(6)]
+        # Stop before the 5 s batch deadline: the drain path must still
+        # answer every admitted request.
+        service.stop()
+        statuses = {future.result().status for future in futures}
+        assert statuses == {RequestStatus.SERVED}
+
+
+class TestDeterminismContract:
+    def test_service_matches_direct_pipeline_bitwise(self, fast_spec):
+        pipeline = fast_spec.build_pipeline(AUDIO_RATE, False)
+        seeds = [11, 22, 33, 44, 55, 66, 77, 88]
+        with VerificationService(
+            fast_spec, ServiceConfig(n_workers=4, max_wait_s=0.005)
+        ) as service:
+            futures = [
+                service.submit(make_request(seed)) for seed in seeds
+            ]
+            responses = [future.result() for future in futures]
+        for seed, response in zip(seeds, responses):
+            va, wearable = make_pair(seed)
+            direct = pipeline.verify(va, wearable, rng=seed)
+            assert response.status is RequestStatus.SERVED
+            assert response.verdict == direct
+
+    def test_batch_composition_does_not_change_verdicts(self, fast_spec):
+        seeds = [5, 6, 7, 8]
+
+        def serve_all(max_batch):
+            config = ServiceConfig(
+                n_workers=2,
+                max_batch_size=max_batch,
+                max_wait_s=0.005,
+            )
+            with VerificationService(fast_spec, config) as service:
+                futures = [
+                    service.submit(make_request(seed)) for seed in seeds
+                ]
+                return [future.result().verdict for future in futures]
+
+        assert serve_all(max_batch=1) == serve_all(max_batch=4)
+
+
+class TestDeadlines:
+    def test_expired_deadline_degrades_not_drops(self, fast_spec):
+        # A deadline far smaller than the queue wait forces every
+        # request onto the full-recording fallback path.
+        config = ServiceConfig(
+            n_workers=1, max_wait_s=0.2, max_batch_size=64
+        )
+        with VerificationService(fast_spec, config) as service:
+            futures = [
+                service.submit(
+                    make_request(seed, deadline_s=1e-6)
+                )
+                for seed in range(4)
+            ]
+            responses = [future.result() for future in futures]
+        assert all(r.status is RequestStatus.SERVED for r in responses)
+        assert all(r.degraded for r in responses)
+
+    def test_degraded_verdict_matches_skip_segmentation(self):
+        spec = PipelineSpec(
+            segmenter_seed=3, n_speakers=2, n_per_phoneme=2, epochs=2
+        )
+        pipeline = spec.build_pipeline(AUDIO_RATE, False)
+        va, wearable = make_pair(99)
+        with VerificationService(
+            spec, ServiceConfig(n_workers=1)
+        ) as service:
+            response = service.verify(
+                make_request(99, deadline_s=1e-6)
+            )
+        assert response.degraded
+        direct = pipeline.verify(
+            va, wearable, rng=99, skip_segmentation=True
+        )
+        assert response.verdict == direct
+
+    def test_default_deadline_applied_from_config(self, fast_spec):
+        config = ServiceConfig(n_workers=1, default_deadline_s=120.0)
+        with VerificationService(fast_spec, config) as service:
+            request = make_request(7)
+            assert request.deadline_s is None
+            service.verify(request)
+            assert request.deadline_s == 120.0
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_and_counts(self, fast_spec):
+        config = ServiceConfig(
+            n_workers=1,
+            queue_capacity=1,
+            backpressure="reject",
+            max_wait_s=0.5,
+            max_batch_size=64,
+        )
+        with VerificationService(fast_spec, config) as service:
+            futures = []
+            rejected = 0
+            for seed in range(30):
+                try:
+                    futures.append(service.submit(make_request(seed)))
+                except ServiceOverloadError:
+                    rejected += 1
+            responses = [future.result() for future in futures]
+        assert all(
+            response.status is RequestStatus.SERVED
+            for response in responses
+        )
+        metrics = service.metrics()
+        assert metrics.n_rejected == rejected
+        assert metrics.n_served == len(responses)
+        assert metrics.n_submitted == 30
+
+    def test_shed_policy_resolves_shed_futures(self, fast_spec):
+        config = ServiceConfig(
+            n_workers=1,
+            queue_capacity=1,
+            backpressure="shed-oldest",
+            max_wait_s=0.5,
+            max_batch_size=64,
+        )
+        with VerificationService(fast_spec, config) as service:
+            futures = [
+                service.submit(make_request(seed)) for seed in range(20)
+            ]
+            responses = [future.result() for future in futures]
+        by_status = {}
+        for response in responses:
+            by_status.setdefault(response.status, []).append(response)
+        metrics = service.metrics()
+        assert metrics.n_shed == len(
+            by_status.get(RequestStatus.SHED, [])
+        )
+        # Every submitted request reached exactly one terminal state.
+        assert metrics.n_resolved == metrics.n_submitted == 20
+        for shed in by_status.get(RequestStatus.SHED, []):
+            assert shed.verdict is None
+            assert "shed" in shed.error
+
+
+class TestMetrics:
+    def test_snapshot_well_formed(self, fast_spec):
+        with VerificationService(
+            fast_spec, ServiceConfig(n_workers=2)
+        ) as service:
+            for seed in range(5):
+                service.verify(make_request(seed))
+            metrics = service.metrics()
+        assert metrics.n_submitted == metrics.n_served == 5
+        assert metrics.n_failed == 0
+        assert metrics.throughput_rps > 0
+        assert metrics.total_latency.count == 5
+        assert metrics.total_latency.p50_s <= metrics.total_latency.p99_s
+        for stage in PIPELINE_STAGES:
+            assert metrics.stage_latency[stage].count == 5
+
+    def test_failed_requests_counted_not_raised(self, fast_spec):
+        with VerificationService(
+            fast_spec, ServiceConfig(n_workers=1)
+        ) as service:
+            bad = VerificationRequest(
+                va_audio=np.zeros(0),
+                wearable_audio=np.zeros(0),
+                seed=1,
+                request_id="empty",
+            )
+            response = service.verify(bad)
+        assert response.status is RequestStatus.FAILED
+        assert "SignalError" in response.error
+        assert service.metrics().n_failed == 1
+
+
+class TestWorkerModes:
+    @pytest.mark.slow
+    def test_process_mode_matches_thread_mode(self, fast_spec):
+        seeds = [3, 4, 5]
+
+        def run(mode):
+            config = ServiceConfig(n_workers=2, worker_mode=mode)
+            with VerificationService(fast_spec, config) as service:
+                return [
+                    service.verify(make_request(seed)).verdict
+                    for seed in seeds
+                ]
+
+        assert run("thread") == run("process")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_workers": 0},
+            {"queue_capacity": 0},
+            {"max_wait_s": -0.01},
+            {"max_batch_size": 0},
+            {"default_deadline_s": 0.0},
+            {"default_deadline_s": -1.0},
+            {"block_timeout_s": -0.5},
+            {"backpressure": "drop-newest"},
+            {"worker_mode": "fork"},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**kwargs)

@@ -1,0 +1,86 @@
+"""Warm segmenter path: cached training, unchanged scores, timings."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    PIPELINE_STAGES,
+    DefensePipeline,
+)
+from repro.core.segmentation import (
+    default_segmenter,
+    train_default_segmenter,
+)
+
+RECIPE = dict(n_speakers=2, n_per_phoneme=2, epochs=2)
+
+
+def make_pair(seed, n_samples=8_000):
+    rng = np.random.default_rng(seed)
+    va = rng.normal(0.0, 0.1, n_samples)
+    wearable = 0.8 * va + rng.normal(0.0, 0.02, n_samples)
+    return va, wearable
+
+
+class TestWarmSegmenterCache:
+    def test_repeated_calls_share_one_instance(self):
+        first = default_segmenter(seed=31, **RECIPE)
+        second = default_segmenter(seed=31, **RECIPE)
+        assert first is second
+
+    def test_different_recipes_do_not_collide(self):
+        base = default_segmenter(seed=31, **RECIPE)
+        other_seed = default_segmenter(seed=32, **RECIPE)
+        other_size = default_segmenter(
+            seed=31, n_speakers=3, n_per_phoneme=2, epochs=2
+        )
+        assert base is not other_seed
+        assert base is not other_size
+
+    def test_warm_scores_match_fresh_training(self):
+        """Regression pin: the warm path changes cost, never scores."""
+        va, wearable = make_pair(5)
+        warm = DefensePipeline.warm(seed=31, **RECIPE)
+        fresh = DefensePipeline(
+            segmenter=train_default_segmenter(seed=31, **RECIPE)
+        )
+        for rng_seed in (0, 1, 2):
+            assert warm.verify(va, wearable, rng=rng_seed) == fresh.verify(
+                va, wearable, rng=rng_seed
+            )
+
+    def test_warm_pipelines_share_segmenter(self):
+        first = DefensePipeline.warm(seed=31, **RECIPE)
+        second = DefensePipeline.warm(seed=31, **RECIPE)
+        assert first.segmenter is second.segmenter
+
+
+class TestVerifyAlias:
+    def test_verify_is_analyze(self):
+        va, wearable = make_pair(6)
+        pipeline = DefensePipeline(segmenter=None)
+        assert pipeline.verify(va, wearable, rng=3) == pipeline.analyze(
+            va, wearable, rng=3
+        )
+
+
+class TestAnalyzeTimed:
+    def test_reports_every_stage(self):
+        va, wearable = make_pair(7)
+        pipeline = DefensePipeline(segmenter=None)
+        verdict, timings = pipeline.analyze_timed(va, wearable, rng=4)
+        assert set(timings) == set(PIPELINE_STAGES)
+        assert all(seconds >= 0 for seconds in timings.values())
+        assert verdict == pipeline.analyze(va, wearable, rng=4)
+
+    def test_skip_segmentation_falls_back_to_full_recording(self):
+        va, wearable = make_pair(8)
+        pipeline = DefensePipeline.warm(seed=31, **RECIPE)
+        degraded = pipeline.analyze(
+            va, wearable, rng=5, skip_segmentation=True
+        )
+        baseline = DefensePipeline(
+            segmenter=None, config=pipeline.config
+        ).analyze(va, wearable, rng=5)
+        assert degraded == baseline
+        assert degraded.n_segments == 0
