@@ -2,7 +2,13 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke serve-smoke bench examples clean
+.PHONY: install test test-fast smoke serve-smoke store-smoke bench \
+	examples clean
+
+# Artifact-store directory for store-smoke.  Deliberately NOT removed
+# by the target: CI restores it via actions/cache so the second run —
+# and the next CI run — start warm.
+STORE_SMOKE_DIR ?= .store-smoke
 
 install:
 	pip install -e '.[test]'
@@ -25,6 +31,19 @@ smoke:
 serve-smoke:
 	$(PYTHON) -m repro loadgen --segmenter fast --workers 2 \
 		--requests 12 --concurrency 4 --seed 0
+
+# Store smoke: two serve-smoke runs against a persistent artifact
+# store.  The first run may train and publish; the second must load
+# everything — its accounting line has to report "0 trained".
+store-smoke:
+	$(PYTHON) -m repro loadgen --segmenter fast --workers 2 \
+		--requests 12 --concurrency 4 --seed 0 \
+		--store-dir $(STORE_SMOKE_DIR)
+	$(PYTHON) -m repro loadgen --segmenter fast --workers 2 \
+		--requests 12 --concurrency 4 --seed 0 \
+		--store-dir $(STORE_SMOKE_DIR) | tee /tmp/store-smoke.log
+	grep -q "0 trained" /tmp/store-smoke.log
+	$(PYTHON) -m repro store verify --dir $(STORE_SMOKE_DIR)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

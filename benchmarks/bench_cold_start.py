@@ -1,0 +1,169 @@
+"""Service cold start: time-to-first-verdict with and without the store.
+
+Not a paper figure — this measures what the artifact store
+(`repro.store`) buys the online service.  For each process-worker
+count the table reports the time from service construction to the
+first served verdict (TTFV) under three regimes:
+
+``no-store``
+    ``--no-store`` serving: every worker trains the segmenter itself.
+``cold store``
+    An empty store: the workers race on the entry lock, exactly one
+    trains and publishes, the rest block and load.
+``warm store``
+    A store populated by an earlier run: pure weight loads, zero
+    training anywhere.
+
+The acceptance bar: a warm store must cut process-worker TTFV by at
+least 10x versus a cold one, the cold run must publish exactly one
+artifact regardless of worker count, and the warm run must train
+nothing.  Worker counts default to (1, 2, 4); override with
+``REPRO_BENCH_COLD_START_WORKERS`` (comma-separated).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.eval.reporting import format_table
+from repro.serve import (
+    PipelineSpec,
+    ServiceConfig,
+    VerificationRequest,
+    VerificationService,
+)
+from repro.store import ArtifactStore, ModelRegistry
+
+#: Training recipe sized so one training run dominates a process
+#: fork + weight load by well over the 10x acceptance ratio.
+RECIPE = dict(n_speakers=4, n_per_phoneme=8, epochs=12)
+
+#: Seed base; every (scenario, worker-count) cell gets its own seed so
+#: no fork-inherited in-process memo can leak warmth between cells.
+SEED_BASE = 86_000
+
+
+def _worker_counts():
+    spec = os.environ.get("REPRO_BENCH_COLD_START_WORKERS", "")
+    if spec:
+        return [int(token) for token in spec.split(",")]
+    return [1, 2, 4]
+
+
+def _make_pair(seed, n_samples=8_000):
+    rng = np.random.default_rng(seed)
+    va = rng.normal(0.0, 0.1, n_samples)
+    wearable = 0.8 * va + rng.normal(0.0, 0.02, n_samples)
+    return va, wearable
+
+
+def _time_to_first_verdict(seed, n_workers, store_dir):
+    """Seconds from service construction to the first served verdict."""
+    spec = PipelineSpec(
+        segmenter_seed=seed,
+        store_dir=None if store_dir is None else str(store_dir),
+        **RECIPE,
+    )
+    config = ServiceConfig(n_workers=n_workers, worker_mode="process")
+    va, wearable = _make_pair(5)
+    start = time.perf_counter()
+    with VerificationService(spec, config) as service:
+        response = service.verify(
+            VerificationRequest(
+                va_audio=va, wearable_audio=wearable, seed=0
+            )
+        )
+        elapsed = time.perf_counter() - start
+        mode = service.realized_worker_mode
+    assert response.verdict is not None
+    return elapsed, mode
+
+
+def _measure(worker_counts, tmp_path):
+    cells = {}
+    for index, n_workers in enumerate(worker_counts):
+        seeds = [SEED_BASE + 10 * index + offset for offset in range(3)]
+        base = tmp_path / f"workers-{n_workers}"
+
+        no_store_s, mode = _time_to_first_verdict(
+            seeds[0], n_workers, store_dir=None
+        )
+        if mode != "process":
+            pytest.skip(
+                "process workers unavailable on this platform; "
+                "cold-start ratios are only meaningful across processes"
+            )
+
+        cold_dir = base / "cold"
+        cold_s, _ = _time_to_first_verdict(
+            seeds[1], n_workers, store_dir=cold_dir
+        )
+        cold_store = ArtifactStore(cold_dir)
+        # One trainer, many loaders: N racing workers, one artifact.
+        assert len(cold_store.entries()) == 1
+        assert cold_store.quarantined() == []
+
+        warm_dir = base / "warm"
+        # Populate out-of-band (the registry bypasses the in-process
+        # memo, so the timed run below still has to hit the disk).
+        ModelRegistry(warm_dir).segmenter(seed=seeds[2], **RECIPE)
+        warm_s, _ = _time_to_first_verdict(
+            seeds[2], n_workers, store_dir=warm_dir
+        )
+        # Zero training on a warm start: nothing new was published.
+        assert len(ArtifactStore(warm_dir).entries()) == 1
+
+        cells[n_workers] = (no_store_s, cold_s, warm_s)
+    return cells
+
+
+def test_cold_start(benchmark, tmp_path):
+    worker_counts = sorted(set(_worker_counts()))
+    cells = run_once(benchmark, lambda: _measure(worker_counts, tmp_path))
+
+    rows = []
+    for n_workers in worker_counts:
+        no_store_s, cold_s, warm_s = cells[n_workers]
+        speedup = cold_s / warm_s
+        rows.append(
+            (
+                n_workers,
+                f"{no_store_s:.2f}",
+                f"{cold_s:.2f}",
+                f"{warm_s:.2f}",
+                f"{speedup:.1f}x",
+            )
+        )
+        assert speedup >= 10.0, (
+            f"warm store must cut TTFV >= 10x at {n_workers} workers, "
+            f"got cold {cold_s:.2f}s / warm {warm_s:.2f}s = "
+            f"{speedup:.1f}x"
+        )
+
+    body = format_table(
+        [
+            "workers",
+            "no-store s",
+            "cold-store s",
+            "warm-store s",
+            "cold/warm",
+        ],
+        rows,
+        title=(
+            "time-to-first-verdict, process workers — "
+            f"training recipe {RECIPE['n_speakers']} speakers x "
+            f"{RECIPE['n_per_phoneme']} renditions x "
+            f"{RECIPE['epochs']} epochs, {os.cpu_count() or 1} core(s)"
+        ),
+    )
+    body += (
+        "\n\nno-store trains in every worker; a cold store trains in "
+        "exactly one\n(the rest block on the entry lock and load); a "
+        "warm store only loads.\n"
+    )
+    emit("cold_start", body)

@@ -7,6 +7,7 @@ system inventory and EXPERIMENTS.md for the paper-vs-measured record.
 __version__ = "1.0.0"
 
 from repro.errors import (
+    ArtifactIntegrityError,
     CalibrationError,
     ConfigurationError,
     ModelError,
@@ -14,6 +15,7 @@ from repro.errors import (
     ReproError,
     ServiceOverloadError,
     SignalError,
+    StoreError,
     SynthesisError,
 )
 from repro.core.pipeline import (
@@ -40,6 +42,8 @@ __all__ = [
     "ProtocolError",
     "CalibrationError",
     "ServiceOverloadError",
+    "StoreError",
+    "ArtifactIntegrityError",
     "DefenseConfig",
     "DefensePipeline",
     "DefenseVerdict",

@@ -19,6 +19,10 @@ Commands
 ``loadgen``
     Drive the service with a synthetic closed- or open-loop load and
     print latency percentiles plus the service metrics snapshot.
+``store``
+    Manage the trained-artifact store (``ls``, ``info``, ``gc``,
+    ``export``, ``import``, ``verify``).  ``serve`` and ``loadgen``
+    read/publish trained segmenters there via ``--store-dir``.
 """
 
 from __future__ import annotations
@@ -134,6 +138,21 @@ def _build_parser() -> argparse.ArgumentParser:
                 "(full recipe; slow startup)"
             ),
         )
+        serving.add_argument(
+            "--store-dir", default=None, metavar="DIR",
+            help=(
+                "artifact-store directory: workers load trained "
+                "segmenter weights instead of retraining, and publish "
+                "them after a cold start (default: $REPRO_STORE_DIR)"
+            ),
+        )
+        serving.add_argument(
+            "--no-store", action="store_true",
+            help=(
+                "ignore --store-dir and $REPRO_STORE_DIR; always "
+                "train in-process"
+            ),
+        )
         if name == "serve":
             serving.add_argument(
                 "--requests", type=int, default=6,
@@ -156,6 +175,10 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--rate", type=float, default=20.0, metavar="RPS",
                 help="open-loop arrival rate",
             )
+
+    from repro.store.cli import add_store_parser
+
+    add_store_parser(sub)
     return parser
 
 
@@ -359,9 +382,18 @@ def _resolve_service_config(args: argparse.Namespace):
 
 
 def _resolve_pipeline_spec(args: argparse.Namespace):
-    """Map ``--segmenter {none,fast,paper}`` to a worker recipe."""
-    from repro.serve import PipelineSpec
+    """Map ``--segmenter {none,fast,paper}`` to a worker recipe.
 
+    ``--store-dir`` (or ``$REPRO_STORE_DIR``) threads the artifact
+    store into the spec so workers load published weights instead of
+    retraining; ``--no-store`` forces in-process training.
+    """
+    from repro.serve import PipelineSpec
+    from repro.store.cli import resolve_store_dir
+
+    store_dir = None
+    if not args.no_store:
+        store_dir = resolve_store_dir(args.store_dir)
     if args.segmenter == "none":
         return PipelineSpec(use_segmenter=False)
     if args.segmenter == "fast":
@@ -370,8 +402,34 @@ def _resolve_pipeline_spec(args: argparse.Namespace):
             n_speakers=2,
             n_per_phoneme=3,
             epochs=3,
+            store_dir=store_dir,
         )
-    return PipelineSpec(segmenter_seed=args.seed)
+    return PipelineSpec(segmenter_seed=args.seed, store_dir=store_dir)
+
+
+def _print_store_report(spec, service) -> None:
+    """One-line artifact-store summary after a serving run.
+
+    The trained/loaded counters are per-process; with process workers
+    the loads happen in the worker processes, so only the on-disk
+    entry count is meaningful there.
+    """
+    if spec.store_dir is None:
+        return
+    from repro.store import ArtifactStore, registry_counters
+
+    n_entries = len(ArtifactStore(spec.store_dir).entries())
+    if service.realized_worker_mode == "thread":
+        counts = registry_counters()
+        print(
+            f"store: {n_entries} artifact(s) in {spec.store_dir} "
+            f"({counts['loaded']} loaded, {counts['trained']} trained)"
+        )
+    else:
+        print(
+            f"store: {n_entries} artifact(s) in {spec.store_dir} "
+            "(load/train accounting lives in the worker processes)"
+        )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -402,10 +460,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         report = run_loadgen(service, selftest, pool=pool)
         metrics = service.metrics()
-    print(
-        f"self-test: {report.n_served}/{report.n_issued} served, "
-        f"{report.n_failed} failed"
-    )
+        print(
+            f"self-test: {report.n_served}/{report.n_issued} served, "
+            f"{report.n_failed} failed"
+        )
+        _print_store_report(spec, service)
     print(format_service_metrics(metrics))
     return 1 if report.n_failed else 0
 
@@ -436,6 +495,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     with VerificationService(spec, config) as service:
         report = run_loadgen(service, loadgen_config)
         metrics = service.metrics()
+        store_report_args = (spec, service)
     degraded = (
         f" ({report.n_degraded} degraded)" if report.n_degraded else ""
     )
@@ -446,6 +506,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"{report.n_failed} failed in {report.wall_s:.2f}s "
         f"({report.throughput_rps:.2f} req/s)"
     )
+    _print_store_report(*store_report_args)
     if report.latencies_s:
         print(
             "latency p50/p95/p99: "
@@ -455,6 +516,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
     print(format_service_metrics(metrics))
     return 1 if report.n_failed else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store.cli import cmd_store
+
+    return cmd_store(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -467,6 +534,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack-study": _cmd_attack_study,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "store": _cmd_store,
     }
     return handlers[args.command](args)
 

@@ -145,6 +145,7 @@ class DefensePipeline:
         n_speakers: int = 8,
         n_per_phoneme: int = 12,
         epochs: int = 12,
+        store=None,
     ) -> "DefensePipeline":
         """Pipeline backed by a cached (memoized) trained segmenter.
 
@@ -154,6 +155,12 @@ class DefensePipeline:
         invocations.  Scores are bitwise identical to a pipeline built
         around a fresh ``train_default_segmenter(seed)`` because
         training is deterministic in the seed.
+
+        ``store`` (an :class:`repro.store.ArtifactStore` or a store
+        directory) additionally persists the trained weights across
+        processes: in-process memo misses load from the store instead
+        of retraining, and a cold store is populated exactly once even
+        under concurrent starts.
         """
         from repro.core.segmentation import default_segmenter
 
@@ -163,6 +170,7 @@ class DefensePipeline:
                 n_speakers=n_speakers,
                 n_per_phoneme=n_per_phoneme,
                 epochs=epochs,
+                store=store,
             ),
             sensor=sensor,
             config=config,

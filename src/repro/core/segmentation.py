@@ -23,11 +23,33 @@ import numpy as np
 
 from repro.dsp.mel import mfcc
 from repro.errors import ConfigurationError, ModelError
-from repro.nn.model import SequenceClassifier
+from repro.nn.model import (
+    SequenceClassifier,
+    pack_param_arrays,
+    restore_param_arrays,
+)
 from repro.phonemes.corpus import SyntheticCorpus, Utterance
 from repro.phonemes.inventory import PAPER_SELECTED_PHONEMES, get_phoneme
 from repro.utils.rng import SeedLike, as_generator, child_rng
 from repro.utils.validation import ensure_1d
+
+# Process-wide count of segmenter training runs.  The artifact-store
+# tests and ``make store-smoke`` assert warm starts perform *zero*
+# training by reading this counter before and after service startup.
+_TRAINING_RUNS = 0
+_TRAINING_RUNS_LOCK = threading.Lock()
+
+
+def training_run_count() -> int:
+    """Segmenter training runs performed by this process so far."""
+    with _TRAINING_RUNS_LOCK:
+        return _TRAINING_RUNS
+
+
+def _note_training_run() -> None:
+    global _TRAINING_RUNS
+    with _TRAINING_RUNS_LOCK:
+        _TRAINING_RUNS += 1
 
 
 @dataclass
@@ -210,6 +232,7 @@ class PhonemeSegmenter:
         """
         if not pairs:
             raise ModelError("need at least one training pair")
+        _note_training_run()
         raw_features = [
             mfcc(
                 np.asarray(waveform, dtype=np.float64),
@@ -281,6 +304,7 @@ class PhonemeSegmenter:
         from repro.acoustics.spl import db_to_gain
         from repro.phonemes.inventory import COMMON_PHONEMES
 
+        _note_training_run()
         generator = as_generator(rng)
         if symbols is None:
             symbols = list(COMMON_PHONEMES) + ["sp", "sil", "pau"]
@@ -453,33 +477,54 @@ class PhonemeSegmenter:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Serialize model weights + feature statistics to ``.npz``."""
+        """Serialize model weights + feature statistics to ``.npz``.
+
+        ``path`` may be a filesystem path or a binary file object (the
+        artifact store serializes into memory buffers).
+        """
         if not self._trained:
             raise ModelError("cannot save an untrained segmenter")
-        arrays = dict(self.model.params)
-        arrays["_meta"] = np.array(
-            [
+        np.savez(
+            path,
+            **pack_param_arrays(
+                self.model.params,
                 self.model.input_dim,
                 self.model.hidden_dim,
                 self.model.n_classes,
-            ]
+                extras={
+                    "_feature_mean": self._feature_mean,
+                    "_feature_std": self._feature_std,
+                },
+            ),
         )
-        arrays["_feature_mean"] = self._feature_mean
-        arrays["_feature_std"] = self._feature_std
-        np.savez(path, **arrays)
 
     def load_weights(self, path) -> None:
-        """Restore weights + feature statistics saved by :meth:`save`."""
+        """Restore weights + feature statistics saved by :meth:`save`.
+
+        The archived (input_dim, hidden_dim, n_classes) triple is
+        validated against this segmenter's live model; a mismatch
+        raises :class:`ModelError` instead of silently loading weights
+        trained for a different architecture.
+        """
         with np.load(path) as archive:
-            params = self.model.params
-            for key in params:
-                if key not in archive:
+            restore_param_arrays(
+                archive,
+                self.model.params,
+                path,
+                expected_meta=(
+                    self.model.input_dim,
+                    self.model.hidden_dim,
+                    self.model.n_classes,
+                ),
+            )
+            for name in ("_feature_mean", "_feature_std"):
+                if name not in archive:
                     raise ModelError(
-                        f"missing parameter {key!r} in {path}"
+                        f"missing feature statistics {name!r} in {path}"
                     )
-                params[key][...] = archive[key]
             self._feature_mean = archive["_feature_mean"]
             self._feature_std = archive["_feature_std"]
+        self.model._trained = True
         self._trained = True
 
     def _mask_to_segments(
@@ -550,6 +595,7 @@ def default_segmenter(
     n_speakers: int = 8,
     n_per_phoneme: int = 12,
     epochs: int = 12,
+    store=None,
 ) -> PhonemeSegmenter:
     """Memoized :func:`train_default_segmenter`.
 
@@ -561,6 +607,14 @@ def default_segmenter(
     seeds are cacheable; pass a ``Generator`` to
     :func:`train_default_segmenter` directly when a one-off model is
     wanted.
+
+    ``store`` (an :class:`repro.store.ArtifactStore` or a store
+    directory path) makes misses in the in-process memo consult the
+    persistent artifact store before training: a published entry turns
+    cold start into a weight load, and a miss trains then publishes for
+    the next process.  Training is deterministic in the integer seed,
+    so a store-loaded segmenter is bitwise identical to a freshly
+    trained one — the store changes cost, never scores.
     """
     if seed is not None:
         seed = int(seed)
@@ -569,12 +623,23 @@ def default_segmenter(
         cached = _WARM_SEGMENTERS.get(key)
     if cached is not None:
         return cached
-    segmenter = train_default_segmenter(
-        seed=seed,
-        n_speakers=n_speakers,
-        n_per_phoneme=n_per_phoneme,
-        epochs=epochs,
-    )
+    if store is not None:
+        # Imported lazily: repro.store.registry imports this module.
+        from repro.store.registry import ModelRegistry
+
+        segmenter, _ = ModelRegistry(store).segmenter(
+            seed=seed,
+            n_speakers=n_speakers,
+            n_per_phoneme=n_per_phoneme,
+            epochs=epochs,
+        )
+    else:
+        segmenter = train_default_segmenter(
+            seed=seed,
+            n_speakers=n_speakers,
+            n_per_phoneme=n_per_phoneme,
+            epochs=epochs,
+        )
     with _WARM_LOCK:
         # Another thread may have trained the same recipe concurrently;
         # keep the first so every caller shares one instance.

@@ -47,3 +47,22 @@ class ServiceOverloadError(ReproError):
     backpressure policy (or a ``block`` enqueue timed out), and attached
     to the responses of requests dropped by the ``shed-oldest`` policy.
     """
+
+
+class StoreError(ReproError):
+    """The artifact store could not complete an operation.
+
+    Raised for malformed keys, unusable store roots, and import/export
+    failures.  Note that *corrupt entries* do not raise on the read
+    path: :meth:`repro.store.ArtifactStore.get` quarantines them and
+    reports a miss so callers fall back to recomputing the artifact.
+    """
+
+
+class ArtifactIntegrityError(StoreError):
+    """An artifact failed checksum or schema validation.
+
+    Surfaced by explicit integrity checks (``repro store verify`` and
+    archive import), never by the load-or-train fast path, which
+    degrades to retraining instead.
+    """

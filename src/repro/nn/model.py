@@ -10,7 +10,7 @@ phoneme classifier built on top.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +21,77 @@ from repro.nn.data import iterate_minibatches
 from repro.nn.dense import Dense
 from repro.nn.losses import softmax, softmax_cross_entropy
 from repro.utils.rng import SeedLike, as_generator, child_rng
+
+#: Reserved archive key that stores (input_dim, hidden_dim, n_classes).
+META_KEY = "_meta"
+
+
+def pack_param_arrays(
+    params: Dict[str, np.ndarray],
+    input_dim: int,
+    hidden_dim: int,
+    n_classes: int,
+    extras: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Flat array dict ready for ``np.savez``: params + architecture meta.
+
+    Shared by :meth:`SequenceClassifier.save` and
+    :meth:`repro.core.segmentation.PhonemeSegmenter.save`, which adds
+    its feature statistics via ``extras``.
+    """
+    arrays = dict(params)
+    arrays[META_KEY] = np.array(
+        [input_dim, hidden_dim, n_classes], dtype=np.int64
+    )
+    if extras:
+        arrays.update(extras)
+    return arrays
+
+
+def read_meta(archive, source: object) -> Tuple[int, int, int]:
+    """(input_dim, hidden_dim, n_classes) recorded in an archive."""
+    if META_KEY not in archive:
+        raise ModelError(f"missing {META_KEY!r} in {source}")
+    meta = np.asarray(archive[META_KEY]).ravel()
+    if meta.size != 3:
+        raise ModelError(
+            f"malformed {META_KEY!r} in {source}: expected "
+            f"(input_dim, hidden_dim, n_classes), got {meta.size} values"
+        )
+    return int(meta[0]), int(meta[1]), int(meta[2])
+
+
+def restore_param_arrays(
+    archive,
+    params: Dict[str, np.ndarray],
+    source: object,
+    expected_meta: Optional[Tuple[int, int, int]] = None,
+) -> Tuple[int, int, int]:
+    """Copy archived weights into ``params`` in place, validating shape.
+
+    ``expected_meta`` pins the live model's architecture: a saved
+    (input_dim, hidden_dim, n_classes) that differs raises
+    :class:`ModelError` instead of silently loading incompatible
+    weights.  Returns the archive's meta triple.
+    """
+    meta = read_meta(archive, source)
+    if expected_meta is not None and meta != tuple(expected_meta):
+        raise ModelError(
+            f"architecture mismatch loading {source}: saved "
+            f"(input_dim, hidden_dim, n_classes)={meta} but the model "
+            f"was built with {tuple(expected_meta)}"
+        )
+    for key, target in params.items():
+        if key not in archive:
+            raise ModelError(f"missing parameter {key!r} in {source}")
+        value = np.asarray(archive[key])
+        if value.shape != target.shape:
+            raise ModelError(
+                f"parameter {key!r} in {source} has shape "
+                f"{value.shape}, expected {target.shape}"
+            )
+        target[...] = value
+    return meta
 
 
 class SequenceClassifier:
@@ -188,11 +259,15 @@ class SequenceClassifier:
     def save(self, path: Union[str, Path]) -> None:
         """Serialize architecture + weights to an ``.npz`` file."""
         path = Path(path)
-        arrays = {key: value for key, value in self.params.items()}
-        arrays["_meta"] = np.array(
-            [self.input_dim, self.hidden_dim, self.n_classes]
+        np.savez(
+            path,
+            **pack_param_arrays(
+                self.params,
+                self.input_dim,
+                self.hidden_dim,
+                self.n_classes,
+            ),
         )
-        np.savez(path, **arrays)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SequenceClassifier":
@@ -201,16 +276,12 @@ class SequenceClassifier:
         if not path.exists():
             raise ModelError(f"model file not found: {path}")
         with np.load(path) as archive:
-            meta = archive["_meta"]
+            input_dim, hidden_dim, n_classes = read_meta(archive, path)
             model = cls(
-                input_dim=int(meta[0]),
-                hidden_dim=int(meta[1]),
-                n_classes=int(meta[2]),
+                input_dim=input_dim,
+                hidden_dim=hidden_dim,
+                n_classes=n_classes,
             )
-            params = model.params
-            for key in params:
-                if key not in archive:
-                    raise ModelError(f"missing parameter {key!r} in {path}")
-                params[key][...] = archive[key]
+            restore_param_arrays(archive, model.params, path)
         model._trained = True
         return model

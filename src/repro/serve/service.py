@@ -197,6 +197,11 @@ class VerificationService:
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._started = False
+        #: Wall-clock seconds :meth:`start` spent warming the worker
+        #: pool (training or store-loading segmenters); ``None`` until
+        #: the first start.  The cold-start benchmark reads this to
+        #: separate warm-up cost from steady-state latency.
+        self.warmup_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,7 +211,9 @@ class VerificationService:
         """Warm the worker pool and start the batching scheduler."""
         if self._started:
             return
+        warmup_start = time.monotonic()
         self._pool.start()
+        self.warmup_s = time.monotonic() - warmup_start
         self._thread = threading.Thread(
             target=self._scheduler_loop,
             name="verify-scheduler",
@@ -229,6 +236,12 @@ class VerificationService:
                 self._inflight_drained.wait()
         self._pool.shutdown(wait=True)
         self._started = False
+
+    @property
+    def realized_worker_mode(self) -> Optional[str]:
+        """Worker mode in effect after :meth:`start` (process pools
+        fall back to ``"thread"`` when spawning fails)."""
+        return self._pool.realized_mode
 
     def __enter__(self) -> "VerificationService":
         self.start()

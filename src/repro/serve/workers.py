@@ -71,6 +71,10 @@ class PipelineSpec:
     min_audio_s:
         Minimum concatenated-segment material before the pipeline
         falls back to full recordings.
+    store_dir:
+        Artifact-store directory workers consult before training (a
+        plain string so the spec stays picklable for process-pool
+        initializers); ``None`` trains in-process as before.
     """
 
     use_segmenter: bool = True
@@ -80,10 +84,16 @@ class PipelineSpec:
     epochs: int = 12
     threshold: Optional[float] = None
     min_audio_s: float = 0.25
+    store_dir: Optional[str] = None
 
     @property
     def fingerprint(self) -> int:
-        """Stable config hash (part of the batch-compatibility key)."""
+        """Stable config hash (part of the batch-compatibility key).
+
+        ``store_dir`` is deliberately excluded: where the weights come
+        from never changes a verdict (store loads are bitwise identical
+        to fresh training), so it must not split batch classes.
+        """
         return stable_fingerprint(
             self.use_segmenter,
             self.segmenter_seed,
@@ -95,7 +105,13 @@ class PipelineSpec:
         )
 
     def build_segmenter(self) -> Optional[PhonemeSegmenter]:
-        """Train (or fetch the memoized) segmenter for this spec."""
+        """Load-or-train the segmenter for this spec.
+
+        With ``store_dir`` set, the artifact store is consulted first:
+        a warm entry loads in milliseconds, a cold one trains exactly
+        once across every concurrently-starting worker (cross-process
+        file lock) and is published for the next service start.
+        """
         if not self.use_segmenter:
             return None
         return default_segmenter(
@@ -103,6 +119,7 @@ class PipelineSpec:
             n_speakers=self.n_speakers,
             n_per_phoneme=self.n_per_phoneme,
             epochs=self.epochs,
+            store=self.store_dir,
         )
 
     def build_pipeline(

@@ -1,0 +1,45 @@
+"""Content-addressed artifact store and model registry.
+
+Persists the defense's three expensive artifacts — trained BLSTM
+segmenter weights, detector calibration profiles, and offline
+phoneme-selection tables — keyed by deterministic fingerprints of
+(kind, config, seed, schema version).  Turns service cold start from
+minutes of per-worker training into a millisecond weight load; the
+one-trainer-many-loaders file-locking protocol guarantees N workers
+racing on an empty store train exactly once.  See DESIGN.md
+§ "Artifact store & model registry".
+"""
+
+from repro.store.artifact import (
+    ArtifactInfo,
+    ArtifactKey,
+    ArtifactStore,
+)
+from repro.store.fingerprint import (
+    SCHEMA_VERSION,
+    artifact_fingerprint,
+    payload_checksum,
+)
+from repro.store.locks import FileLock
+from repro.store.registry import (
+    KIND_CALIBRATION,
+    KIND_PHONEME_TABLE,
+    KIND_SEGMENTER,
+    ModelRegistry,
+    registry_counters,
+)
+
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactKey",
+    "ArtifactStore",
+    "FileLock",
+    "KIND_CALIBRATION",
+    "KIND_PHONEME_TABLE",
+    "KIND_SEGMENTER",
+    "ModelRegistry",
+    "SCHEMA_VERSION",
+    "artifact_fingerprint",
+    "payload_checksum",
+    "registry_counters",
+]

@@ -1,0 +1,104 @@
+"""Byte codecs between the store and the library's trained artifacts.
+
+The :class:`~repro.store.artifact.ArtifactStore` deals in opaque bytes;
+these adapters define the payload formats for the three expensive
+artifacts the registry manages:
+
+* **segmenter weights** — the ``.npz`` produced by
+  :meth:`PhonemeSegmenter.save` (BLSTM parameters + architecture meta +
+  feature standardization statistics), written into a memory buffer.
+* **calibration profiles** — :class:`CalibrationReport` as JSON (JSON
+  round-trips float64 exactly via shortest-repr).
+* **phoneme-selection tables** — :class:`PhonemeSelectionResult` as
+  JSON, including the per-phoneme Q3 vibration profiles.
+
+Decoding failures raise :class:`repro.errors.ModelError` /
+:class:`repro.errors.StoreError`; the registry maps them to the
+quarantine-and-retrain fallback.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+from repro.core.calibration import CalibrationReport
+from repro.core.phoneme_selection import PhonemeSelectionResult
+from repro.core.segmentation import PhonemeSegmenter, SegmenterConfig
+from repro.errors import ModelError, StoreError
+from repro.utils.rng import SeedLike
+
+
+def encode_segmenter(segmenter: PhonemeSegmenter) -> bytes:
+    """Trained segmenter → ``.npz`` bytes."""
+    buffer = io.BytesIO()
+    segmenter.save(buffer)
+    return buffer.getvalue()
+
+
+def decode_segmenter(
+    payload: bytes,
+    sensitive_phonemes=None,
+    config: Optional[SegmenterConfig] = None,
+    sample_rate: float = 16_000.0,
+    rng: SeedLike = None,
+) -> PhonemeSegmenter:
+    """``.npz`` bytes → ready-to-serve segmenter.
+
+    The constructor arguments must match the recipe the weights were
+    trained under (the registry fingerprints them into the artifact
+    key, so a store hit guarantees they do).  Architecture mismatches
+    are still re-checked against the archive's meta by
+    :meth:`PhonemeSegmenter.load_weights`.
+    """
+    kwargs = {}
+    if sensitive_phonemes is not None:
+        kwargs["sensitive_phonemes"] = sensitive_phonemes
+    segmenter = PhonemeSegmenter(
+        config=config, sample_rate=sample_rate, rng=rng, **kwargs
+    )
+    try:
+        segmenter.load_weights(io.BytesIO(payload))
+    except (OSError, ValueError, KeyError, EOFError) as error:
+        raise ModelError(
+            f"segmenter payload is not a readable archive: {error}"
+        ) from error
+    return segmenter
+
+
+def encode_calibration(report: CalibrationReport) -> bytes:
+    """Calibration report → JSON bytes."""
+    return json.dumps(report.to_dict(), sort_keys=True).encode("utf-8")
+
+
+def decode_calibration(payload: bytes) -> CalibrationReport:
+    """JSON bytes → calibration report."""
+    return CalibrationReport.from_dict(_load_json(payload, "calibration"))
+
+
+def encode_phoneme_table(result: PhonemeSelectionResult) -> bytes:
+    """Phoneme-selection result → JSON bytes."""
+    return json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
+
+
+def decode_phoneme_table(payload: bytes) -> PhonemeSelectionResult:
+    """JSON bytes → phoneme-selection result."""
+    try:
+        return PhonemeSelectionResult.from_dict(
+            _load_json(payload, "phoneme table")
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreError(
+            f"malformed phoneme-table payload: {error}"
+        ) from None
+
+
+def _load_json(payload: bytes, what: str) -> dict:
+    try:
+        decoded = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise StoreError(f"{what} payload is not valid JSON") from error
+    if not isinstance(decoded, dict):
+        raise StoreError(f"{what} payload must be a JSON object")
+    return decoded

@@ -1,0 +1,195 @@
+"""``python -m repro store {ls,info,gc,export,import,verify}``.
+
+Management commands for the on-disk artifact store.  The store
+directory comes from ``--dir`` or the ``REPRO_STORE_DIR`` environment
+variable — the same default the ``serve``/``loadgen`` commands use for
+``--store-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Optional
+
+from repro.errors import StoreError
+from repro.store.artifact import ArtifactInfo, ArtifactKey, ArtifactStore
+
+
+def add_store_parser(subparsers) -> None:
+    """Attach the ``store`` command tree to the root CLI parser."""
+    store = subparsers.add_parser(
+        "store", help="manage the trained-artifact store"
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--dir",
+        dest="store_dir",
+        default=None,
+        help=(
+            "store root directory (default: $REPRO_STORE_DIR)"
+        ),
+    )
+    actions = store.add_subparsers(dest="store_command", required=True)
+
+    actions.add_parser(
+        "ls", help="list stored artifacts", parents=[common]
+    )
+
+    info = actions.add_parser(
+        "info", help="show one artifact's metadata", parents=[common]
+    )
+    info.add_argument("key", help="artifact address as <kind>/<fingerprint>")
+
+    gc = actions.add_parser(
+        "gc", help="evict least-recently-used artifacts", parents=[common]
+    )
+    gc.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="total payload bytes to keep",
+    )
+    gc.add_argument(
+        "--max-entries", type=int, default=None,
+        help="entry count to keep",
+    )
+
+    export = actions.add_parser(
+        "export", help="pack artifacts into a portable tar.gz",
+        parents=[common],
+    )
+    export.add_argument("archive", help="output archive path")
+    export.add_argument(
+        "--kind", action="append", default=None,
+        help="restrict to a kind (repeatable)",
+    )
+
+    imp = actions.add_parser(
+        "import", help="unpack artifacts from an exported archive",
+        parents=[common],
+    )
+    imp.add_argument("archive", help="archive produced by 'store export'")
+    imp.add_argument(
+        "--overwrite", action="store_true",
+        help="replace entries that already exist",
+    )
+
+    actions.add_parser(
+        "verify", help="checksum every entry; exit 1 on any corruption",
+        parents=[common],
+    )
+
+
+def resolve_store_dir(explicit: Optional[str]) -> Optional[str]:
+    """``--dir``/``--store-dir`` value, falling back to the env var."""
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_STORE_DIR") or None
+
+
+def _format_entry(info: ArtifactInfo) -> str:
+    return (
+        f"{str(info.key):50} {info.n_bytes:>10} B  "
+        f"sha256:{info.sha256[:12]}"
+    )
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Dispatch one ``store`` subcommand; returns the exit code."""
+    store_dir = resolve_store_dir(args.store_dir)
+    if store_dir is None:
+        raise SystemExit(
+            "error: no store directory; pass --dir or set REPRO_STORE_DIR"
+        )
+    store = ArtifactStore(store_dir)
+    handler = {
+        "ls": _cmd_ls,
+        "info": _cmd_info,
+        "gc": _cmd_gc,
+        "export": _cmd_export,
+        "import": _cmd_import,
+        "verify": _cmd_verify,
+    }[args.store_command]
+    try:
+        return handler(store, args)
+    except StoreError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _cmd_ls(store: ArtifactStore, args: argparse.Namespace) -> int:
+    entries = store.entries()
+    for info in entries:
+        print(_format_entry(info))
+    total = sum(info.n_bytes for info in entries)
+    quarantined = len(store.quarantined())
+    suffix = f", {quarantined} quarantined" if quarantined else ""
+    print(
+        f"{len(entries)} artifact(s), {total} payload bytes "
+        f"in {store.root}{suffix}"
+    )
+    return 0
+
+
+def _parse_key(raw: str) -> ArtifactKey:
+    kind, _, fingerprint = raw.partition("/")
+    if not kind or not fingerprint:
+        raise SystemExit(
+            f"error: key must look like <kind>/<fingerprint>, got {raw!r}"
+        )
+    return ArtifactKey(kind, fingerprint)
+
+
+def _cmd_info(store: ArtifactStore, args: argparse.Namespace) -> int:
+    info = store.info(_parse_key(args.key))
+    if info is None:
+        print(f"no such artifact: {args.key}")
+        return 1
+    print(f"key        : {info.key}")
+    print(f"path       : {info.path}")
+    print(f"payload    : {info.n_bytes} bytes")
+    print(f"sha256     : {info.sha256}")
+    print(f"created_at : {info.created_at:.0f}")
+    print(f"last_used  : {info.last_used_at:.0f}")
+    for name in sorted(info.meta):
+        print(f"meta.{name:<6}: {info.meta[name]}")
+    return 0
+
+
+def _cmd_gc(store: ArtifactStore, args: argparse.Namespace) -> int:
+    if args.max_bytes is None and args.max_entries is None:
+        raise SystemExit(
+            "error: gc needs --max-bytes and/or --max-entries"
+        )
+    evicted = store.gc(
+        max_bytes=args.max_bytes, max_entries=args.max_entries
+    )
+    for info in evicted:
+        print(f"evicted {_format_entry(info)}")
+    print(f"evicted {len(evicted)} artifact(s)")
+    return 0
+
+
+def _cmd_export(store: ArtifactStore, args: argparse.Namespace) -> int:
+    keys = store.export_archive(args.archive, kinds=args.kind)
+    print(f"exported {len(keys)} artifact(s) to {args.archive}")
+    return 0
+
+
+def _cmd_import(store: ArtifactStore, args: argparse.Namespace) -> int:
+    keys = store.import_archive(args.archive, overwrite=args.overwrite)
+    for key in keys:
+        print(f"imported {key}")
+    print(f"imported {len(keys)} artifact(s) into {store.root}")
+    return 0
+
+
+def _cmd_verify(store: ArtifactStore, args: argparse.Namespace) -> int:
+    report = store.verify()
+    bad = 0
+    for key, problem in report:
+        if problem is None:
+            print(f"ok      {key}")
+        else:
+            bad += 1
+            print(f"CORRUPT {key}: {problem}")
+    print(f"verified {len(report)} artifact(s), {bad} corrupt")
+    return 1 if bad else 0

@@ -1,0 +1,88 @@
+"""Cross-process advisory file locking for the artifact store.
+
+POSIX ``flock`` gives the one-trainer-many-loaders protocol its mutual
+exclusion: N workers starting on an empty store all try to acquire the
+artifact's lock file; exactly one wins and trains, the rest block and
+then load the published entry.  ``flock`` locks are attached to the
+open file description, so two *threads* opening the lock file
+independently exclude each other just like two processes do.
+
+On platforms without ``fcntl`` the lock degrades to a per-process
+``threading.Lock`` registry — correctness within one process is kept,
+and concurrent processes merely risk duplicate (identical, because
+training is seed-deterministic) work, never corruption: publication
+stays atomic via the store's write-to-temp-then-rename protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+# Fallback registry: one process-wide lock per lock-file path.
+_FALLBACK_LOCKS: Dict[str, threading.Lock] = {}
+_FALLBACK_REGISTRY_LOCK = threading.Lock()
+
+
+class FileLock:
+    """Exclusive, blocking advisory lock on ``path``.
+
+    Use as a context manager::
+
+        with FileLock(store_root / "locks" / "segmenter-abc123.lock"):
+            ...  # train-or-load critical section
+
+    Not reentrant; one instance per acquisition.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._fallback: Optional[threading.Lock] = None
+
+    def acquire(self) -> None:
+        if self._fd is not None or self._fallback is not None:
+            raise RuntimeError("FileLock is not reentrant")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - off-POSIX degradation
+            with _FALLBACK_REGISTRY_LOCK:
+                lock = _FALLBACK_LOCKS.setdefault(
+                    str(self.path), threading.Lock()
+                )
+            lock.acquire()
+            self._fallback = lock
+            return
+        fd = os.open(str(self.path), os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def release(self) -> None:
+        if self._fallback is not None:  # pragma: no cover - off-POSIX
+            self._fallback.release()
+            self._fallback = None
+            return
+        if self._fd is None:
+            return
+        try:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()

@@ -1,0 +1,322 @@
+"""Artifact store: addressing, atomicity, integrity, maintenance."""
+
+import io
+import json
+import os
+import tarfile
+import threading
+import time
+
+import pytest
+
+from repro.errors import ArtifactIntegrityError, StoreError
+from repro.store import (
+    ArtifactKey,
+    ArtifactStore,
+    SCHEMA_VERSION,
+    payload_checksum,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def put_entry(store, kind="weights", fingerprint="abc123", payload=b"data"):
+    key = ArtifactKey(kind, fingerprint)
+    store.put(key, payload, meta={"seed": 1})
+    return key
+
+
+class TestArtifactKey:
+    def test_str_is_the_cli_address(self):
+        assert str(ArtifactKey("weights", "ff00")) == "weights/ff00"
+
+    @pytest.mark.parametrize(
+        "kind, fingerprint",
+        [
+            ("", "abc"),
+            ("weights", ""),
+            ("a/b", "abc"),
+            ("weights", "a/b"),
+            ("weights", ".."),
+            ("we ights", "abc"),
+            ("weights", "a\\b"),
+        ],
+    )
+    def test_rejects_path_unsafe_parts(self, kind, fingerprint):
+        with pytest.raises(StoreError):
+            ArtifactKey(kind, fingerprint)
+
+
+class TestPutGet:
+    def test_round_trip(self, store):
+        key = put_entry(store, payload=b"\x00\x01payload")
+        assert store.contains(key)
+        assert store.get(key) == b"\x00\x01payload"
+
+    def test_miss_returns_none(self, store):
+        assert store.get(ArtifactKey("weights", "missing")) is None
+        assert not store.contains(ArtifactKey("weights", "missing"))
+
+    def test_put_requires_bytes(self, store):
+        with pytest.raises(StoreError, match="bytes"):
+            store.put(ArtifactKey("weights", "abc"), "not-bytes")
+
+    def test_put_replaces_existing_entry(self, store):
+        key = put_entry(store, payload=b"old")
+        store.put(key, b"new")
+        assert store.get(key) == b"new"
+
+    def test_info_reports_metadata(self, store):
+        key = put_entry(store, payload=b"12345")
+        info = store.info(key)
+        assert info.key == key
+        assert info.n_bytes == 5
+        assert info.sha256 == payload_checksum(b"12345")
+        assert info.meta == {"seed": 1}
+        assert info.path == store.entry_dir(key)
+
+    def test_entries_sorted_by_address(self, store):
+        put_entry(store, "weights", "bbb")
+        put_entry(store, "tables", "aaa")
+        put_entry(store, "weights", "aaa")
+        addresses = [str(info.key) for info in store.entries()]
+        assert addresses == ["tables/aaa", "weights/aaa", "weights/bbb"]
+
+    def test_delete(self, store):
+        key = put_entry(store)
+        assert store.delete(key)
+        assert not store.contains(key)
+        assert not store.delete(key)
+
+
+class TestCorruption:
+    """Invalid entries quarantine and report a miss — never crash."""
+
+    def assert_quarantined_miss(self, store, key):
+        assert store.get(key) is None
+        assert not store.contains(key)
+        assert len(store.quarantined()) == 1
+
+    def test_flipped_payload_byte(self, store):
+        key = put_entry(store, payload=b"payload-bytes")
+        payload_path = store.entry_dir(key) / "payload.bin"
+        raw = bytearray(payload_path.read_bytes())
+        raw[0] ^= 0xFF
+        payload_path.write_bytes(bytes(raw))
+        self.assert_quarantined_miss(store, key)
+
+    def test_truncated_payload(self, store):
+        key = put_entry(store, payload=b"payload-bytes")
+        payload_path = store.entry_dir(key) / "payload.bin"
+        payload_path.write_bytes(payload_path.read_bytes()[:-3])
+        self.assert_quarantined_miss(store, key)
+
+    def test_missing_payload(self, store):
+        key = put_entry(store)
+        (store.entry_dir(key) / "payload.bin").unlink()
+        self.assert_quarantined_miss(store, key)
+
+    def test_wrong_schema_version(self, store):
+        key = put_entry(store)
+        meta_path = store.entry_dir(key) / "meta.json"
+        record = json.loads(meta_path.read_text())
+        record["schema_version"] = SCHEMA_VERSION + 41
+        meta_path.write_text(json.dumps(record))
+        self.assert_quarantined_miss(store, key)
+
+    def test_unparseable_metadata(self, store):
+        key = put_entry(store)
+        (store.entry_dir(key) / "meta.json").write_text("{not json")
+        self.assert_quarantined_miss(store, key)
+
+    def test_metadata_missing_keys(self, store):
+        key = put_entry(store)
+        (store.entry_dir(key) / "meta.json").write_text("{}")
+        self.assert_quarantined_miss(store, key)
+
+    def test_metadata_address_mismatch(self, store):
+        key = put_entry(store)
+        meta_path = store.entry_dir(key) / "meta.json"
+        record = json.loads(meta_path.read_text())
+        record["fingerprint"] = "somebody-else"
+        meta_path.write_text(json.dumps(record))
+        self.assert_quarantined_miss(store, key)
+
+    def test_quarantine_names_never_collide(self, store):
+        for _ in range(3):
+            key = put_entry(store)
+            (store.entry_dir(key) / "meta.json").write_text("{}")
+            assert store.get(key) is None
+        assert len(store.quarantined()) == 3
+
+    def test_healthy_entries_unaffected(self, store):
+        bad = put_entry(store, fingerprint="bad")
+        good = put_entry(store, fingerprint="good", payload=b"fine")
+        (store.entry_dir(bad) / "meta.json").write_text("{}")
+        assert store.get(bad) is None
+        assert store.get(good) == b"fine"
+
+
+class TestGetOrCreate:
+    def test_miss_produces_and_publishes(self, store):
+        key = ArtifactKey("weights", "abc")
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return b"produced"
+
+        payload, created = store.get_or_create(key, produce)
+        assert (payload, created) == (b"produced", True)
+        payload, created = store.get_or_create(key, produce)
+        assert (payload, created) == (b"produced", False)
+        assert len(calls) == 1
+
+    def test_threads_racing_produce_once(self, store):
+        key = ArtifactKey("weights", "contended")
+        calls = []
+        barrier = threading.Barrier(4)
+        results = []
+
+        def produce():
+            calls.append(1)
+            time.sleep(0.05)
+            return b"expensive"
+
+        def worker():
+            barrier.wait()
+            results.append(store.get_or_create(key, produce))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert sum(created for _, created in results) == 1
+        assert {payload for payload, _ in results} == {b"expensive"}
+
+
+class TestVerify:
+    def test_reports_without_quarantining(self, store):
+        good = put_entry(store, fingerprint="good")
+        bad = put_entry(store, fingerprint="bad", payload=b"data")
+        payload_path = store.entry_dir(bad) / "payload.bin"
+        payload_path.write_bytes(b"tampered-data")
+        report = dict(store.verify())
+        assert report[good] is None
+        assert "checksum" in report[bad] or "bytes" in report[bad]
+        # verify() is read-only: the broken entry is still on disk.
+        assert store.contains(bad)
+        assert store.quarantined() == []
+
+
+class TestGc:
+    def age(self, store, key, seconds_ago):
+        marker = store.entry_dir(key) / "last_used"
+        stamp = time.time() - seconds_ago
+        os.utime(marker, (stamp, stamp))
+
+    def test_evicts_least_recently_used_first(self, store):
+        oldest = put_entry(store, fingerprint="oldest")
+        middle = put_entry(store, fingerprint="middle")
+        newest = put_entry(store, fingerprint="newest")
+        self.age(store, oldest, 300)
+        self.age(store, middle, 200)
+        self.age(store, newest, 100)
+        evicted = store.gc(max_entries=1)
+        assert [info.key for info in evicted] == [oldest, middle]
+        assert store.contains(newest)
+
+    def test_size_bound(self, store):
+        first = put_entry(store, fingerprint="first", payload=b"x" * 100)
+        second = put_entry(store, fingerprint="second", payload=b"y" * 100)
+        self.age(store, first, 200)
+        self.age(store, second, 100)
+        evicted = store.gc(max_bytes=150)
+        assert [info.key for info in evicted] == [first]
+        assert store.contains(second)
+
+    def test_no_bounds_is_a_no_op(self, store):
+        put_entry(store)
+        assert store.gc() == []
+        assert len(store.entries()) == 1
+
+    def test_rejects_negative_bounds(self, store):
+        with pytest.raises(StoreError):
+            store.gc(max_bytes=-1)
+        with pytest.raises(StoreError):
+            store.gc(max_entries=-1)
+
+
+class TestExportImport:
+    def test_round_trip(self, store, tmp_path):
+        key = put_entry(store, payload=b"portable")
+        archive = tmp_path / "artifacts.tgz"
+        assert store.export_archive(archive) == [key]
+
+        other = ArtifactStore(tmp_path / "other")
+        assert other.import_archive(archive) == [key]
+        assert other.get(key) == b"portable"
+        assert other.info(key).meta == {"seed": 1}
+
+    def test_kind_filter(self, store, tmp_path):
+        put_entry(store, kind="weights")
+        tables = put_entry(store, kind="tables", fingerprint="t1")
+        archive = tmp_path / "tables.tgz"
+        assert store.export_archive(archive, kinds=["tables"]) == [tables]
+
+    def test_import_skips_existing_unless_overwrite(self, store, tmp_path):
+        key = put_entry(store, payload=b"original")
+        archive = tmp_path / "artifacts.tgz"
+        store.export_archive(archive)
+        store.put(key, b"changed")
+        assert store.import_archive(archive) == []
+        assert store.get(key) == b"changed"
+        assert store.import_archive(archive, overwrite=True) == [key]
+        assert store.get(key) == b"original"
+
+    def test_corrupt_archive_member_raises(self, store, tmp_path):
+        key = put_entry(store, payload=b"will-be-tampered")
+        archive = tmp_path / "artifacts.tgz"
+        store.export_archive(archive)
+        # Rewrite the archive with a flipped payload byte but the
+        # original metadata: the checksum no longer matches.
+        tampered = tmp_path / "tampered.tgz"
+        with tarfile.open(archive, "r:gz") as src, tarfile.open(
+            tampered, "w:gz"
+        ) as dst:
+            for member in src.getmembers():
+                data = src.extractfile(member).read()
+                if member.name.endswith("payload.bin"):
+                    data = bytes([data[0] ^ 0xFF]) + data[1:]
+                member.size = len(data)
+                dst.addfile(member, io.BytesIO(data))
+        other = ArtifactStore(tmp_path / "other")
+        with pytest.raises(ArtifactIntegrityError, match="checksum"):
+            other.import_archive(tampered)
+        assert not other.contains(key)
+
+    def test_incomplete_archive_member_raises(self, store, tmp_path):
+        put_entry(store)
+        archive = tmp_path / "artifacts.tgz"
+        store.export_archive(archive)
+        partial = tmp_path / "partial.tgz"
+        with tarfile.open(archive, "r:gz") as src, tarfile.open(
+            partial, "w:gz"
+        ) as dst:
+            for member in src.getmembers():
+                if member.name.endswith("meta.json"):
+                    continue
+                dst.addfile(
+                    member, io.BytesIO(src.extractfile(member).read())
+                )
+        with pytest.raises(ArtifactIntegrityError, match="incomplete"):
+            ArtifactStore(tmp_path / "other").import_archive(partial)
+
+    def test_missing_archive_raises(self, store, tmp_path):
+        with pytest.raises(StoreError, match="not found"):
+            store.import_archive(tmp_path / "nope.tgz")
