@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast smoke serve-smoke store-smoke bench \
-	examples clean
+.PHONY: install test test-fast smoke serve-smoke store-smoke \
+	perf-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -44,6 +44,11 @@ store-smoke:
 		--store-dir $(STORE_SMOKE_DIR) | tee /tmp/store-smoke.log
 	grep -q "0 trained" /tmp/store-smoke.log
 	$(PYTHON) -m repro store verify --dir $(STORE_SMOKE_DIR)
+
+# Perf smoke: the vectorized micro-batch path must beat the
+# sequential loop at batch 8 (exits non-zero otherwise).
+perf-smoke:
+	$(PYTHON) benchmarks/bench_batched_inference.py --quick
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

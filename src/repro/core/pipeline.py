@@ -103,6 +103,41 @@ PIPELINE_STAGES: Tuple[str, ...] = (
 )
 
 
+@dataclass
+class BatchAnalysisItem:
+    """One request of a :meth:`DefensePipeline.analyze_batch` call.
+
+    Mirrors the keyword arguments of :meth:`DefensePipeline.analyze`
+    so a micro-batch is simply a list of what would otherwise be N
+    sequential calls.
+    """
+
+    va_audio: np.ndarray
+    wearable_audio: np.ndarray
+    rng: SeedLike = None
+    oracle_utterance: Optional[Utterance] = None
+    skip_segmentation: bool = False
+
+
+@dataclass
+class BatchAnalysisOutcome:
+    """Per-request result of :meth:`DefensePipeline.analyze_batch`.
+
+    Exactly one of ``verdict`` / ``error`` is set: a failing request
+    records its exception here instead of raising, so one bad request
+    never aborts its batch-mates (error isolation).
+    """
+
+    verdict: Optional[DefenseVerdict] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this request produced a verdict."""
+        return self.error is None and self.verdict is not None
+
+
 class DefensePipeline:
     """Training-free thru-barrier attack detection system.
 
@@ -248,10 +283,183 @@ class DefensePipeline:
             segments: List[Tuple[float, float]] = []
         else:
             segments = self._find_segments(va_aligned, oracle_utterance)
+        verdict = self._finish_analysis(
+            va_aligned,
+            wearable_aligned,
+            delay_s,
+            segments,
+            generator,
+            timings,
+            segment_start=start,
+        )
+        return verdict, timings
+
+    def analyze_batch(
+        self,
+        items: Sequence[BatchAnalysisItem],
+        dtype=None,
+    ) -> List[BatchAnalysisOutcome]:
+        """Analyze a micro-batch with one vectorized segmentation pass.
+
+        The BLSTM segmentation stage — the pipeline's hottest — is
+        hoisted out of the per-request loop: every batch member that
+        needs model-based segmentation contributes its (synced) VA
+        recording to a single
+        :meth:`~repro.core.segmentation.PhonemeSegmenter.segments_batch`
+        call.  Everything request-specific (synchronization, oracle
+        segmentation, material extraction, cross-domain sensing,
+        feature extraction, detection) still runs per request with the
+        request's own RNG stream, so each verdict is bitwise identical
+        to a sequential :meth:`analyze` call with the same arguments
+        (``dtype=None``; the opt-in float32 compute path trades that
+        bitwise guarantee for speed).
+
+        Per-request semantics preserved:
+
+        * **stage timings** — per-request dicts with the usual
+          :data:`PIPELINE_STAGES` keys; the shared batched
+          segmentation cost is amortized equally across the requests
+          that used it;
+        * **deadline checks** — callers mark expired requests with
+          ``skip_segmentation=True`` exactly as on the sequential
+          path;
+        * **error isolation** — a failing request records its
+          exception in its own :class:`BatchAnalysisOutcome` and
+          never disturbs batch-mates; if the *batched* segmentation
+          call itself fails, segmentation falls back to per-request
+          :meth:`~repro.core.segmentation.PhonemeSegmenter.segments`
+          calls so healthy requests still complete.
+        """
+        items = list(items)
+        outcomes = [BatchAnalysisOutcome() for _ in items]
+        synced: List[Optional[Tuple[np.ndarray, np.ndarray, float]]] = []
+
+        for index, item in enumerate(items):
+            start = time.perf_counter()
+            try:
+                aligned = synchronize_recordings(
+                    item.va_audio,
+                    item.wearable_audio,
+                    self.config.audio_rate,
+                    self.config.sync,
+                )
+            except Exception as error:  # noqa: BLE001 — isolated per item
+                outcomes[index].error = error
+                synced.append(None)
+                continue
+            outcomes[index].timings["sync"] = time.perf_counter() - start
+            synced.append(aligned)
+
+        # One vectorized BLSTM forward for every request that needs
+        # model-based segmentation.
+        batched_indices = [
+            index
+            for index, item in enumerate(items)
+            if synced[index] is not None
+            and not item.skip_segmentation
+            and item.oracle_utterance is None
+            and self.segmenter is not None
+        ]
+        segment_lists: Dict[int, List[Tuple[float, float]]] = {}
+        shared_segment_s = 0.0
+        if batched_indices:
+            start = time.perf_counter()
+            try:
+                found = self.segmenter.segments_batch(
+                    [synced[index][0] for index in batched_indices],
+                    dtype=dtype,
+                )
+                segment_lists.update(zip(batched_indices, found))
+            except Exception:  # noqa: BLE001 — isolate per request
+                for index in batched_indices:
+                    try:
+                        segment_lists[index] = self.segmenter.segments(
+                            synced[index][0]
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        outcomes[index].error = error
+            shared_segment_s = (
+                time.perf_counter() - start
+            ) / len(batched_indices)
+
+        for index, item in enumerate(items):
+            outcome = outcomes[index]
+            if outcome.error is not None or synced[index] is None:
+                continue
+            va_aligned, wearable_aligned, delay_s = synced[index]
+            start = time.perf_counter()
+            try:
+                if index in segment_lists:
+                    segments = segment_lists[index]
+                    shared_s = shared_segment_s
+                else:
+                    shared_s = 0.0
+                    if item.skip_segmentation:
+                        segments = []
+                    else:
+                        segments = self._find_segments(
+                            va_aligned, item.oracle_utterance
+                        )
+                outcome.verdict = self._finish_analysis(
+                    va_aligned,
+                    wearable_aligned,
+                    delay_s,
+                    segments,
+                    as_generator(item.rng),
+                    outcome.timings,
+                    segment_start=start,
+                    segment_shared_s=shared_s,
+                )
+            except Exception as error:  # noqa: BLE001 — isolated
+                outcome.error = error
+        return outcomes
+
+    def score(
+        self,
+        va_audio: np.ndarray,
+        wearable_audio: np.ndarray,
+        rng: SeedLike = None,
+        oracle_utterance: Optional[Utterance] = None,
+    ) -> float:
+        """Correlation score only (used by the evaluation harness)."""
+        return self.analyze(
+            va_audio, wearable_audio, rng=rng,
+            oracle_utterance=oracle_utterance,
+        ).score
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _finish_analysis(
+        self,
+        va_aligned: np.ndarray,
+        wearable_aligned: np.ndarray,
+        delay_s: float,
+        segments: Sequence[Tuple[float, float]],
+        generator,
+        timings: Dict[str, float],
+        segment_start: float,
+        segment_shared_s: float = 0.0,
+    ) -> DefenseVerdict:
+        """Material extraction through detection, shared by the
+        sequential and batched paths.
+
+        ``segment_start`` is when this request's segmentation stage
+        began (the ``segment`` timing covers segment finding plus
+        material extraction, as it always has); ``segment_shared_s``
+        adds this request's amortized share of a batched segmentation
+        forward.  The stages consume the same RNG streams in the same
+        order as :meth:`analyze`, so timing attribution never affects
+        the verdict.
+        """
+        config = self.config
         va_material, wearable_material, n_segments = self._extract_material(
             va_aligned, wearable_aligned, segments
         )
-        timings["segment"] = time.perf_counter() - start
+        timings["segment"] = segment_shared_s + (
+            time.perf_counter() - segment_start
+        )
 
         start = time.perf_counter()
         vibration_va = self.sensor.convert(
@@ -278,31 +486,13 @@ class DefensePipeline:
             is_attack = self.detector.decide(score)
         timings["detect"] = time.perf_counter() - start
 
-        verdict = DefenseVerdict(
+        return DefenseVerdict(
             score=score,
             is_attack=is_attack,
             n_segments=n_segments,
             analyzed_duration_s=va_material.size / config.audio_rate,
             sync_delay_s=delay_s,
         )
-        return verdict, timings
-
-    def score(
-        self,
-        va_audio: np.ndarray,
-        wearable_audio: np.ndarray,
-        rng: SeedLike = None,
-        oracle_utterance: Optional[Utterance] = None,
-    ) -> float:
-        """Correlation score only (used by the evaluation harness)."""
-        return self.analyze(
-            va_audio, wearable_audio, rng=rng,
-            oracle_utterance=oracle_utterance,
-        ).score
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
 
     def _find_segments(
         self,

@@ -433,24 +433,87 @@ class PhonemeSegmenter:
             float(np.mean(probabilities)) >= self.config.decision_threshold
         )
 
-    def frame_probabilities(self, audio: np.ndarray) -> np.ndarray:
-        """Per-frame probability that the frame is an effective phoneme."""
+    def frame_probabilities(
+        self, audio: np.ndarray, dtype=None
+    ) -> np.ndarray:
+        """Per-frame probability that the frame is an effective phoneme.
+
+        Delegates to :meth:`frame_probabilities_batch` with a
+        single-element batch, so the per-utterance and batched paths
+        are one implementation — the parity contract between them is
+        structural, not coincidental.
+        """
+        return self.frame_probabilities_batch([audio], dtype=dtype)[0]
+
+    def frame_probabilities_batch(
+        self, audios: Sequence[np.ndarray], dtype=None
+    ) -> List[np.ndarray]:
+        """Per-frame effective-phoneme probabilities for many recordings.
+
+        Variable-length MFCC sequences are right-padded into one
+        ``(batch, time, features)`` tensor with a frame-validity mask
+        and scored by a **single** masked BLSTM forward pass — the
+        vectorized fast path the serving layer's micro-batches ride.
+
+        Parity contract: element ``i`` of the result is bitwise equal
+        to ``frame_probabilities(audios[i])`` in the default float64
+        path, for any batch size and any mix of lengths (the masked
+        recurrence freezes state across padding, and every matmul runs
+        on the same BLAS kernel family regardless of batch size — see
+        :meth:`repro.nn.model.SequenceClassifier.forward`).  With
+        ``dtype=np.float32`` (the opt-in reduced-precision compute
+        path) probabilities match float64 within ~1e-3.
+
+        Returns one 1-D probability array per input, in order.
+        """
         if not self._trained:
             raise ModelError(
                 "segmenter is untrained; call train() or use "
                 "oracle_segments() for alignment-based segmentation"
             )
-        features = self.features(audio)
+        audios = list(audios)
+        if not audios:
+            return []
+        features = [self.features(audio) for audio in audios]
+        lengths = [matrix.shape[0] for matrix in features]
+        max_time = max(lengths)
+        batch = len(features)
+        x = np.zeros((batch, max_time, self.config.n_mfcc))
+        mask = np.zeros((batch, max_time), dtype=bool)
+        for index, matrix in enumerate(features):
+            x[index, : matrix.shape[0]] = matrix
+            mask[index, : matrix.shape[0]] = True
         probabilities = self.model.predict_proba(
-            features[np.newaxis, :, :]
+            x, mask=mask, dtype=dtype
         )
-        return probabilities[0, :, 1]
+        return [
+            probabilities[index, :length, 1]
+            for index, length in enumerate(lengths)
+        ]
 
     def segments(self, audio: np.ndarray) -> List[Tuple[float, float]]:
         """Detected sensitive-phoneme segments as (start_s, end_s) pairs."""
         probabilities = self.frame_probabilities(audio)
         mask = probabilities >= self.config.decision_threshold
         return self._mask_to_segments(mask)
+
+    def segments_batch(
+        self, audios: Sequence[np.ndarray], dtype=None
+    ) -> List[List[Tuple[float, float]]]:
+        """Detected segments for many recordings via one BLSTM forward.
+
+        The batched counterpart of :meth:`segments`: one list of
+        ``(start_s, end_s)`` pairs per input, in order, with the same
+        parity contract as :meth:`frame_probabilities_batch`.
+        """
+        return [
+            self._mask_to_segments(
+                probabilities >= self.config.decision_threshold
+            )
+            for probabilities in self.frame_probabilities_batch(
+                audios, dtype=dtype
+            )
+        ]
 
     def oracle_segments(
         self, utterance: Utterance

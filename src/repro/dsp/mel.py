@@ -7,6 +7,7 @@ hopped by 10 ms.  Those are the defaults here.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -28,6 +29,35 @@ def mel_to_hz(mel: np.ndarray) -> np.ndarray:
     return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
 
 
+@lru_cache(maxsize=32)
+def _cached_filterbank(
+    n_filters: int,
+    n_fft: int,
+    sample_rate: float,
+    low_hz: float,
+    high_hz: float,
+) -> np.ndarray:
+    """Build (and cache) one filterbank; result is marked read-only."""
+    mel_points = np.linspace(
+        hz_to_mel(np.array(low_hz)),
+        hz_to_mel(np.array(high_hz)),
+        n_filters + 2,
+    )
+    hz_points = mel_to_hz(mel_points)
+    bin_freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
+
+    # All n_filters triangles at once: filter i rises over
+    # (left_i, center_i) and falls over (center_i, right_i).
+    left = hz_points[:-2, np.newaxis]
+    center = hz_points[1:-1, np.newaxis]
+    right = hz_points[2:, np.newaxis]
+    rising = (bin_freqs - left) / np.maximum(center - left, 1e-12)
+    falling = (right - bin_freqs) / np.maximum(right - center, 1e-12)
+    bank = np.clip(np.minimum(rising, falling), 0.0, None)
+    bank.setflags(write=False)
+    return bank
+
+
 def mel_filterbank(
     n_filters: int,
     n_fft: int,
@@ -39,6 +69,9 @@ def mel_filterbank(
 
     Filters partition [``low_hz``, ``high_hz``] on the mel scale with
     triangular responses whose peaks are unit gain.
+
+    Banks are memoized per parameter tuple and returned as read-only
+    arrays; copy before mutating.
     """
     if n_filters <= 0:
         raise ConfigurationError(f"n_filters must be > 0, got {n_filters}")
@@ -53,22 +86,13 @@ def mel_filterbank(
             f"need 0 <= low_hz < high_hz <= Nyquist ({nyquist}); "
             f"got low_hz={low_hz}, high_hz={high_hz}"
         )
-
-    mel_points = np.linspace(
-        hz_to_mel(np.array(low_hz)),
-        hz_to_mel(np.array(high_hz)),
-        n_filters + 2,
+    return _cached_filterbank(
+        int(n_filters),
+        int(n_fft),
+        float(sample_rate),
+        float(low_hz),
+        float(high_hz),
     )
-    hz_points = mel_to_hz(mel_points)
-    bin_freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate)
-
-    bank = np.zeros((n_filters, bin_freqs.size))
-    for index in range(n_filters):
-        left, center, right = hz_points[index : index + 3]
-        rising = (bin_freqs - left) / max(center - left, 1e-12)
-        falling = (right - bin_freqs) / max(right - center, 1e-12)
-        bank[index] = np.clip(np.minimum(rising, falling), 0.0, None)
-    return bank
 
 
 def _dct_ii_matrix(n_output: int, n_input: int) -> np.ndarray:
@@ -117,7 +141,8 @@ def mfcc(
     n_fft = 1
     while n_fft < frame_length:
         n_fft *= 2
-    power = np.abs(np.fft.rfft(tapered, n=n_fft, axis=1)) ** 2
+    spectrum = np.fft.rfft(tapered, n=n_fft, axis=1)
+    power = spectrum.real**2 + spectrum.imag**2
 
     bank = mel_filterbank(
         n_filters, n_fft, sample_rate, low_hz=low_hz, high_hz=high_hz

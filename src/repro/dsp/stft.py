@@ -45,7 +45,7 @@ def power_spectrogram(
     points to 64 for 200 Hz vibration signals; those are the defaults.
     """
     transform = stft(signal, n_fft=n_fft, hop_length=hop_length, window=window)
-    return np.abs(transform) ** 2
+    return transform.real**2 + transform.imag**2
 
 
 def stft_frequencies(n_fft: int, sample_rate: float) -> np.ndarray:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.errors import ConfigurationError, SignalError
@@ -10,24 +12,36 @@ from repro.utils.validation import ensure_1d
 _WINDOWS = ("hann", "hamming", "rect", "blackman")
 
 
+@lru_cache(maxsize=64)
+def _build_window(name: str, length: int) -> np.ndarray:
+    """Construct (and cache) one window; result is marked read-only."""
+    if name == "hann":
+        window = np.hanning(length)
+    elif name == "hamming":
+        window = np.hamming(length)
+    elif name == "blackman":
+        window = np.blackman(length)
+    else:  # "rect" — validated by get_window
+        window = np.ones(length)
+    window.setflags(write=False)
+    return window
+
+
 def get_window(name: str, length: int) -> np.ndarray:
     """Return a window of ``length`` samples.
 
     Supported names: ``hann``, ``hamming``, ``rect``, ``blackman``.
+
+    Windows are memoized per ``(name, length)`` and returned as
+    read-only arrays; copy before mutating.
     """
     if length <= 0:
         raise ConfigurationError(f"window length must be > 0, got {length}")
-    if name == "hann":
-        return np.hanning(length)
-    if name == "hamming":
-        return np.hamming(length)
-    if name == "blackman":
-        return np.blackman(length)
-    if name == "rect":
-        return np.ones(length)
-    raise ConfigurationError(
-        f"unknown window {name!r}; expected one of {_WINDOWS}"
-    )
+    if name not in _WINDOWS:
+        raise ConfigurationError(
+            f"unknown window {name!r}; expected one of {_WINDOWS}"
+        )
+    return _build_window(name, length)
 
 
 def frame_signal(
@@ -53,7 +67,9 @@ def frame_signal(
     Returns
     -------
     numpy.ndarray
-        Array of shape ``(n_frames, frame_length)``.
+        Array of shape ``(n_frames, frame_length)``.  Frames are a
+        read-only strided view over the input (zero-copy except when
+        ``pad_final`` forces trailing zeros); copy before mutating.
     """
     samples = ensure_1d(signal)
     if frame_length <= 0:
@@ -82,8 +98,7 @@ def frame_signal(
     else:
         n_frames = 1 + (samples.size - frame_length) // hop_length
 
-    indices = (
-        np.arange(frame_length)[np.newaxis, :]
-        + hop_length * np.arange(n_frames)[:, np.newaxis]
+    windows = np.lib.stride_tricks.sliding_window_view(
+        samples, frame_length
     )
-    return samples[indices]
+    return windows[:: hop_length][:n_frames]

@@ -8,10 +8,11 @@ representation at each frame is the *sum* of the two hidden states
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ModelError
 from repro.nn.lstm import LSTMLayer
 from repro.utils.rng import SeedLike, as_generator, child_rng
 
@@ -35,11 +36,44 @@ class BidirectionalLSTM:
         self.input_dim = input_dim
         self.hidden_dim = hidden_dim
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Sum of forward-pass and time-reversed-pass hidden states."""
-        inputs = np.asarray(inputs, dtype=np.float64)
-        h_forward = self.forward_layer.forward(inputs)
-        h_backward = self.backward_layer.forward(inputs[:, ::-1])
+    def forward(
+        self,
+        inputs: np.ndarray,
+        training: bool = True,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Sum of forward-pass and time-reversed-pass hidden states.
+
+        ``training=False`` selects both layers' inference fast path
+        (no BPTT caches, no instance-state writes).  ``mask`` marks
+        valid frames of right-padded sequences: the backward layer
+        sees the reversed mask, so its recurrence stays at the initial
+        state across the (now leading) padding and enters the last
+        valid frame with exactly the state an unpadded run would have.
+        ``dtype`` opts in to reduced-precision compute (inference
+        only).
+        """
+        if training:
+            if mask is not None or dtype is not None:
+                raise ModelError(
+                    "mask/dtype are inference-only options; call "
+                    "forward with training=False"
+                )
+            inputs = np.asarray(inputs, dtype=np.float64)
+            h_forward = self.forward_layer.forward(inputs)
+            h_backward = self.backward_layer.forward(inputs[:, ::-1])
+            return h_forward + h_backward[:, ::-1]
+        inputs = np.asarray(inputs)
+        reversed_mask = None
+        if mask is not None:
+            reversed_mask = np.asarray(mask, dtype=bool)[:, ::-1]
+        h_forward = self.forward_layer.forward_inference(
+            inputs, mask=mask, dtype=dtype
+        )
+        h_backward = self.backward_layer.forward_inference(
+            inputs[:, ::-1], mask=reversed_mask, dtype=dtype
+        )
         return h_forward + h_backward[:, ::-1]
 
     def backward(self, grad_hs: np.ndarray) -> np.ndarray:

@@ -72,12 +72,28 @@ class LSTMLayer:
         }
         self._cache: Optional[dict] = None
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        inputs: np.ndarray,
+        training: bool = True,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
         """Run the LSTM over ``inputs`` of shape (batch, time, input_dim).
 
-        Returns hidden states of shape (batch, time, hidden_dim) and
-        caches activations for :meth:`backward`.
+        Returns hidden states of shape (batch, time, hidden_dim).  With
+        ``training=True`` (the default) activations are cached for
+        :meth:`backward`; ``training=False`` selects the inference fast
+        path (:meth:`forward_inference`), which supports ``mask`` and
+        ``dtype``.
         """
+        if not training:
+            return self.forward_inference(inputs, mask=mask, dtype=dtype)
+        if mask is not None or dtype is not None:
+            raise ModelError(
+                "mask/dtype are inference-only options; call forward "
+                "with training=False"
+            )
         inputs = np.asarray(inputs, dtype=np.float64)
         if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
             raise ModelError(
@@ -120,6 +136,82 @@ class LSTMLayer:
             cache["c"][:, t] = c
             cache["tanh_c"][:, t] = tanh_c
         self._cache = cache
+        return hs
+
+    def forward_inference(
+        self,
+        inputs: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Inference-only forward: no BPTT caches, optional masking.
+
+        Differences from the training forward:
+
+        * none of the ~9 per-timestep ``(batch, time, hidden)`` BPTT
+          cache arrays are allocated, and no instance state is written
+          — concurrent calls on a shared layer are safe;
+        * the input projection ``x @ W`` is hoisted out of the time
+          loop into one flat ``(batch * time, input_dim)`` matmul;
+        * ``mask`` (shape ``(batch, time)``, truthy = valid frame)
+          freezes the hidden and cell state across padded frames via
+          exact ``np.where`` selection, so right-padded batch members
+          produce the same hidden states at their valid frames as an
+          unpadded run;
+        * ``dtype`` (e.g. ``np.float32``) selects an opt-in
+          reduced-precision compute path — parameters and inputs are
+          cast once up front.
+
+        The float64 path keeps the training forward's operation order
+        (``(x @ W + h @ U) + b`` and identical gate nonlinearities), so
+        for a given matmul kernel the numbers match the training
+        forward bitwise.
+        """
+        compute_dtype = np.dtype(dtype) if dtype is not None else (
+            np.dtype(np.float64)
+        )
+        inputs = np.asarray(inputs, dtype=compute_dtype)
+        if inputs.ndim != 3 or inputs.shape[2] != self.input_dim:
+            raise ModelError(
+                f"expected (batch, time, {self.input_dim}) input, got "
+                f"{inputs.shape}"
+            )
+        batch, time, _ = inputs.shape
+        hidden = self.hidden_dim
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+        if compute_dtype != np.float64:
+            W = W.astype(compute_dtype)
+            U = U.astype(compute_dtype)
+            b = b.astype(compute_dtype)
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != (batch, time):
+                raise ModelError(
+                    f"mask shape {mask.shape} does not match "
+                    f"({batch}, {time})"
+                )
+        # One flat input projection for every (batch, frame) pair.
+        x_proj = (
+            inputs.reshape(batch * time, self.input_dim) @ W
+        ).reshape(batch, time, 4 * hidden)
+        h = np.zeros((batch, hidden), dtype=compute_dtype)
+        c = np.zeros((batch, hidden), dtype=compute_dtype)
+        hs = np.empty((batch, time, hidden), dtype=compute_dtype)
+        for t in range(time):
+            gates = x_proj[:, t] + h @ U + b
+            i = _sigmoid(gates[:, :hidden])
+            f = _sigmoid(gates[:, hidden : 2 * hidden])
+            g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+            o = _sigmoid(gates[:, 3 * hidden :])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            if mask is None:
+                c, h = c_new, h_new
+            else:
+                valid = mask[:, t, np.newaxis]
+                c = np.where(valid, c_new, c)
+                h = np.where(valid, h_new, h)
+            hs[:, t] = h
         return hs
 
     def backward(self, grad_hs: np.ndarray) -> np.ndarray:

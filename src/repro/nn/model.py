@@ -142,18 +142,78 @@ class SequenceClassifier:
     # Inference
     # ------------------------------------------------------------------
 
-    def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Per-frame logits, shape ``(batch, time, n_classes)``."""
-        hidden = self.brnn.forward(np.asarray(inputs, dtype=np.float64))
-        return self.head.forward(hidden)
+    def forward(
+        self,
+        inputs: np.ndarray,
+        training: bool = True,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Per-frame logits, shape ``(batch, time, n_classes)``.
 
-    def predict_proba(self, inputs: np.ndarray) -> np.ndarray:
-        """Per-frame class probabilities."""
-        return softmax(self.forward(inputs))
+        ``training=False`` runs the allocation-light inference path:
+        no BPTT caches, no instance-state writes (safe to share the
+        model across threads), an optional frame-validity ``mask`` for
+        right-padded batches, and an opt-in reduced-precision
+        ``dtype`` (e.g. ``np.float32``).
 
-    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        Batch-size-independence: OpenBLAS dispatches single-row
+        matmuls to a different kernel than multi-row ones, whose
+        results can differ in the last ulp.  The inference path
+        therefore mirrors a singleton batch to two identical rows (and
+        flattens every matmul over the batch*time axis), so a sequence
+        scored alone produces bitwise the same frames as the same
+        sequence scored inside any larger batch.
+        """
+        if training:
+            if mask is not None or dtype is not None:
+                raise ModelError(
+                    "mask/dtype are inference-only options; call "
+                    "forward with training=False"
+                )
+            hidden = self.brnn.forward(
+                np.asarray(inputs, dtype=np.float64)
+            )
+            return self.head.forward(hidden)
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 3:
+            raise ModelError(
+                f"expected (batch, time, features) input, got "
+                f"{inputs.shape}"
+            )
+        mirrored = inputs.shape[0] == 1
+        if mirrored:
+            inputs = np.concatenate([inputs, inputs], axis=0)
+            if mask is not None:
+                mask = np.concatenate([mask, mask], axis=0)
+        hidden = self.brnn.forward(
+            inputs, training=False, mask=mask, dtype=dtype
+        )
+        logits = self.head.forward(hidden, training=False, dtype=dtype)
+        return logits[:1] if mirrored else logits
+
+    def predict_proba(
+        self,
+        inputs: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
+        """Per-frame class probabilities (inference fast path)."""
+        return softmax(
+            self.forward(inputs, training=False, mask=mask, dtype=dtype)
+        )
+
+    def predict(
+        self,
+        inputs: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> np.ndarray:
         """Per-frame argmax labels, shape ``(batch, time)``."""
-        return np.argmax(self.forward(inputs), axis=-1)
+        return np.argmax(
+            self.forward(inputs, training=False, mask=mask, dtype=dtype),
+            axis=-1,
+        )
 
     # ------------------------------------------------------------------
     # Training

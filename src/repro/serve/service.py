@@ -391,6 +391,9 @@ class VerificationService:
                 self._fail_batch(entries, error)
                 return
             results = pool_future.result()
+            n_batched = sum(1 for result in results if result.batched)
+            if n_batched:
+                self.metrics_collector.record_batched_forward(n_batched)
             by_id: Dict[int, WorkerResult] = dict(enumerate(results))
             now = time.monotonic()
             for index, entry in enumerate(entries):

@@ -39,7 +39,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.detector import DetectorConfig
-from repro.core.pipeline import DefenseConfig, DefensePipeline
+from repro.core.pipeline import (
+    BatchAnalysisItem,
+    DefenseConfig,
+    DefensePipeline,
+)
 from repro.core.segmentation import PhonemeSegmenter, default_segmenter
 from repro.errors import ConfigurationError
 from repro.serve.batching import Batch
@@ -139,7 +143,13 @@ class PipelineSpec:
 
 @dataclass
 class WorkerResult:
-    """Picklable per-request outcome returned by a worker."""
+    """Picklable per-request outcome returned by a worker.
+
+    ``batched`` records whether the request was served by the
+    vectorized fast path (one masked BLSTM forward shared by the whole
+    micro-batch) rather than a per-request pipeline run; the service
+    aggregates it into the ``batched_forward`` metrics.
+    """
 
     request_id: str
     verdict: object = None
@@ -147,6 +157,7 @@ class WorkerResult:
     stage_timings_s: Dict[str, float] = field(default_factory=dict)
     exec_s: float = 0.0
     error: Optional[str] = None
+    batched: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -193,49 +204,145 @@ def execute_batch(
     """Run one micro-batch on this worker's warm pipeline.
 
     ``payload`` is the pipeline spec, the batch key, and
-    ``(request, age_at_dispatch_s)`` pairs; ages accrue further while
-    earlier batch members execute, so deadline checks see the request's
-    true total wait.  A request whose deadline already expired is not
-    dropped — it degrades to the full-recording fallback (segmentation
-    skipped).  Per-request errors never poison batch-mates.
+    ``(request, age_at_dispatch_s)`` pairs.  Multi-request batches take
+    the vectorized fast path: one
+    :meth:`~repro.core.pipeline.DefensePipeline.analyze_batch` call
+    shares a single masked BLSTM segmentation forward across the whole
+    batch, with verdicts bitwise identical to per-request runs.  A
+    request the batched path cannot serve is retried sequentially on
+    its own — and if the batched entry point itself fails, the whole
+    batch falls back to the sequential loop — so one bad request never
+    poisons batch-mates.
+
+    Deadlines: a request whose deadline already expired is not dropped
+    — it degrades to the full-recording fallback (segmentation
+    skipped).  On the vectorized path all deadline checks happen at
+    batch start (members no longer queue behind each other); on the
+    sequential path ages keep accruing while earlier members execute.
     """
     spec, key, items = payload
     pipeline = _worker_pipeline(spec, key)
     batch_start = time.perf_counter()
+    if len(items) > 1:
+        results = _execute_vectorized(pipeline, items, batch_start)
+        if results is not None:
+            return results
+    return _execute_sequential(pipeline, items, batch_start)
+
+
+def _deadline_expired(
+    request: VerificationRequest, age_s: float
+) -> bool:
+    return (
+        request.deadline_s is not None and age_s >= request.deadline_s
+    )
+
+
+def _run_one(
+    pipeline: DefensePipeline,
+    request: VerificationRequest,
+    degraded: bool,
+) -> WorkerResult:
+    """Serve one request sequentially (also the per-request fallback)."""
+    start = time.perf_counter()
+    try:
+        verdict, timings = pipeline.analyze_timed(
+            request.va_audio,
+            request.wearable_audio,
+            rng=int(request.seed),
+            oracle_utterance=request.oracle_utterance,
+            skip_segmentation=degraded,
+        )
+        return WorkerResult(
+            request_id=request.request_id,
+            verdict=verdict,
+            degraded=degraded,
+            stage_timings_s=timings,
+            exec_s=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 — reported per request
+        return WorkerResult(
+            request_id=request.request_id,
+            degraded=degraded,
+            exec_s=time.perf_counter() - start,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+
+def _execute_sequential(
+    pipeline: DefensePipeline,
+    items: List[Tuple[VerificationRequest, float]],
+    batch_start: float,
+) -> List[WorkerResult]:
     results: List[WorkerResult] = []
     for request, age_at_dispatch_s in items:
-        start = time.perf_counter()
-        age_s = age_at_dispatch_s + (start - batch_start)
-        degraded = (
-            request.deadline_s is not None
-            and age_s >= request.deadline_s
+        age_s = age_at_dispatch_s + (
+            time.perf_counter() - batch_start
         )
-        try:
-            verdict, timings = pipeline.analyze_timed(
-                request.va_audio,
-                request.wearable_audio,
-                rng=int(request.seed),
-                oracle_utterance=request.oracle_utterance,
-                skip_segmentation=degraded,
+        results.append(
+            _run_one(
+                pipeline, request, _deadline_expired(request, age_s)
             )
-            results.append(
-                WorkerResult(
-                    request_id=request.request_id,
-                    verdict=verdict,
-                    degraded=degraded,
-                    stage_timings_s=timings,
-                    exec_s=time.perf_counter() - start,
-                )
+        )
+    return results
+
+
+def _execute_vectorized(
+    pipeline: DefensePipeline,
+    items: List[Tuple[VerificationRequest, float]],
+    batch_start: float,
+) -> Optional[List[WorkerResult]]:
+    """Serve the whole micro-batch through one ``analyze_batch`` call.
+
+    Returns ``None`` when the batched entry point itself fails, which
+    tells :func:`execute_batch` to fall back to the sequential loop.
+    Requests that fail *inside* the batch (their outcome carries an
+    error) are retried one-by-one so a poisoned input degrades only
+    itself.
+    """
+    now = time.perf_counter()
+    degraded_flags = [
+        _deadline_expired(request, age_s + (now - batch_start))
+        for request, age_s in items
+    ]
+    batch_items = [
+        BatchAnalysisItem(
+            va_audio=request.va_audio,
+            wearable_audio=request.wearable_audio,
+            rng=int(request.seed),
+            oracle_utterance=request.oracle_utterance,
+            skip_segmentation=degraded,
+        )
+        for (request, _), degraded in zip(items, degraded_flags)
+    ]
+    try:
+        outcomes = pipeline.analyze_batch(batch_items)
+    except Exception as error:  # noqa: BLE001 — sequential fallback
+        logger.warning(
+            "batched inference failed (%s: %s); "
+            "falling back to the sequential path",
+            type(error).__name__,
+            error,
+        )
+        return None
+    exec_share_s = (time.perf_counter() - batch_start) / len(items)
+    results: List[WorkerResult] = []
+    for (request, _), degraded, outcome in zip(
+        items, degraded_flags, outcomes
+    ):
+        if outcome.error is not None:
+            results.append(_run_one(pipeline, request, degraded))
+            continue
+        results.append(
+            WorkerResult(
+                request_id=request.request_id,
+                verdict=outcome.verdict,
+                degraded=degraded,
+                stage_timings_s=outcome.timings,
+                exec_s=exec_share_s,
+                batched=True,
             )
-        except Exception as error:  # noqa: BLE001 — reported per request
-            results.append(
-                WorkerResult(
-                    request_id=request.request_id,
-                    degraded=degraded,
-                    exec_s=time.perf_counter() - start,
-                    error=f"{type(error).__name__}: {error}",
-                )
-            )
+        )
     return results
 
 
