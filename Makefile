@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
-	perf-smoke bench examples clean
+	perf-smoke runtime-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -44,6 +44,23 @@ store-smoke:
 		--store-dir $(STORE_SMOKE_DIR) | tee /tmp/store-smoke.log
 	grep -q "0 trained" /tmp/store-smoke.log
 	$(PYTHON) -m repro store verify --dir $(STORE_SMOKE_DIR)
+
+# Runtime smoke: the unified execution layer.  Unit tests cover the
+# fallback ladder, retries, StageEvent plumbing, and the shared
+# percentile helper; then a 2-worker campaign and a 2-worker serve
+# run must both succeed under the thread AND process executors (the
+# campaign score set is bitwise identical across all of them).
+runtime-smoke:
+	$(PYTHON) -m pytest tests/test_runtime.py tests/test_runtime_events.py \
+		tests/test_utils_stats.py -q
+	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 \
+		--workers 2 --executor thread
+	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 \
+		--workers 2 --executor process
+	$(PYTHON) -m repro loadgen --segmenter none --workers 2 \
+		--worker-mode thread --requests 8 --concurrency 4 --seed 0
+	$(PYTHON) -m repro loadgen --segmenter none --workers 2 \
+		--worker-mode process --requests 8 --concurrency 4 --seed 0
 
 # Perf smoke: the vectorized micro-batch path must beat the
 # sequential loop at batch 8 (exits non-zero otherwise).

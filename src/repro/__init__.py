@@ -17,6 +17,7 @@ from repro.errors import (
     SignalError,
     StoreError,
     SynthesisError,
+    WorkerError,
 )
 from repro.core.pipeline import (
     DefenseConfig,
@@ -44,6 +45,7 @@ __all__ = [
     "ServiceOverloadError",
     "StoreError",
     "ArtifactIntegrityError",
+    "WorkerError",
     "DefenseConfig",
     "DefensePipeline",
     "DefenseVerdict",

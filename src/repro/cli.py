@@ -75,6 +75,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = one per CPU core; results are identical for any count)"
         ),
     )
+    evaluate.add_argument(
+        "--executor", choices=["process", "thread", "inline"],
+        default="process",
+        help=(
+            "runtime executor for multi-worker runs "
+            "(results are identical for any kind)"
+        ),
+    )
 
     study = sub.add_parser(
         "attack-study", help="Table I-style VA vulnerability study"
@@ -86,6 +94,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for the device x SPL cells "
             "(0 = one per CPU core; results are identical for any count)"
+        ),
+    )
+    study.add_argument(
+        "--executor", choices=["process", "thread", "inline"],
+        default="process",
+        help=(
+            "runtime executor for multi-worker runs "
+            "(results are identical for any kind)"
         ),
     )
 
@@ -259,6 +275,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.eval.campaign import CampaignConfig, DetectorBank
     from repro.eval.experiment import run_attack_experiment
     from repro.eval.reporting import format_runner_stats
+    from repro.eval.runner import CampaignRunner
 
     workers = _resolve_workers(args.workers)
     print("Training segmenter...")
@@ -275,7 +292,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         AttackKind(args.attack),
         config=config,
         detectors=detectors,
-        n_workers=workers,
+        runner=CampaignRunner(
+            n_workers=1 if workers is None else workers,
+            executor=args.executor,
+        ),
     )
     for detector, metrics in result.metrics.items():
         print(f"{detector:20}: {metrics}")
@@ -333,17 +353,23 @@ def _cmd_attack_study(args: argparse.Namespace) -> int:
         for name, spec in VA_DEVICES.items()
         for level in levels
     ]
-    workers = _resolve_workers(args.workers)
-    if workers is None or workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    import os
 
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                counts = list(pool.map(_attack_study_cell, payloads))
-        except OSError:
-            counts = [_attack_study_cell(p) for p in payloads]
-    else:
-        counts = [_attack_study_cell(p) for p in payloads]
+    from repro.runtime import FallbackPolicy, Runtime
+
+    workers = _resolve_workers(args.workers)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    kind = "inline" if workers == 1 else args.executor
+    runtime = Runtime(
+        kind,
+        n_workers=workers,
+        fallback=FallbackPolicy(ladder=("process", "inline")),
+    )
+    try:
+        counts = runtime.map_units(_attack_study_cell, payloads)
+    finally:
+        runtime.shutdown()
 
     print(f"{'device':14} {'65 dB':>8} {'75 dB':>8}")
     for index, name in enumerate(VA_DEVICES):

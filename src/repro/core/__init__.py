@@ -31,6 +31,16 @@ from repro.core.baselines import (
     VibrationBaselineNoSelection,
 )
 from repro.core.pipeline import DefenseConfig, DefensePipeline, DefenseVerdict
+from repro.core.stages import (
+    DetectStage,
+    FeatureStage,
+    SegmentStage,
+    SenseStage,
+    Stage,
+    StageContext,
+    SyncStage,
+    default_stages,
+)
 from repro.core.calibration import (
     CalibrationReport,
     calibrate_eer,
@@ -57,6 +67,14 @@ __all__ = [
     "DefenseConfig",
     "DefensePipeline",
     "DefenseVerdict",
+    "Stage",
+    "StageContext",
+    "SyncStage",
+    "SegmentStage",
+    "SenseStage",
+    "FeatureStage",
+    "DetectStage",
+    "default_stages",
     "CalibrationReport",
     "calibrate_eer",
     "calibrate_max_fdr",

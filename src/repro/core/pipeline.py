@@ -4,6 +4,14 @@ Composes the whole §IV-C architecture: cross-device synchronization →
 sensitive-phoneme segmentation on the VA recording → segment extraction
 from both recordings → cross-domain sensing on the wearable → vibration
 feature extraction → 2-D-correlation attack detection.
+
+The architecture is realized as a line of composable stage objects
+(:mod:`repro.core.stages`); this module drives them through one loop
+that owns wall-clock timing, fallback annotation, and
+:class:`~repro.runtime.events.StageEvent` emission.  Events reach both
+the pipeline's own ``sink`` (when wired) and any ambient sink installed
+with :func:`repro.runtime.capture_stage_events`, so shared pipeline
+instances stay observable without mutable per-call state.
 """
 
 from __future__ import annotations
@@ -20,11 +28,18 @@ from repro.core.segmentation import (
     PhonemeSegmenter,
     concatenate_segments,
 )
-from repro.core.sync import SyncConfig, synchronize_recordings
+from repro.core.stages import (
+    Stage,
+    StageContext,
+    default_stages,
+    stages_after_sync,
+)
+from repro.core.sync import SyncConfig
 from repro.errors import ConfigurationError, SignalError
 from repro.phonemes.corpus import Utterance
+from repro.runtime.events import StageEvent, StageEventSink, emit_event
 from repro.sensing.cross_domain import CrossDomainSensor
-from repro.utils.rng import SeedLike, as_generator, child_rng
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass
@@ -125,12 +140,15 @@ class BatchAnalysisOutcome:
 
     Exactly one of ``verdict`` / ``error`` is set: a failing request
     records its exception here instead of raising, so one bad request
-    never aborts its batch-mates (error isolation).
+    never aborts its batch-mates (error isolation).  ``events`` carries
+    the request's :class:`StageEvent` stream (timings, fallbacks, and
+    — for a failed request — the error class of the stage that raised).
     """
 
     verdict: Optional[DefenseVerdict] = None
     timings: Dict[str, float] = field(default_factory=dict)
     error: Optional[Exception] = None
+    events: List[StageEvent] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -150,6 +168,9 @@ class DefensePipeline:
         Cross-domain sensor of the user's wearable.
     config:
         Pipeline configuration.
+    sink:
+        Optional :class:`StageEventSink` receiving every stage event
+        this instance emits (in addition to any ambient sink).
 
     Examples
     --------
@@ -162,10 +183,12 @@ class DefensePipeline:
         segmenter: Optional[PhonemeSegmenter] = None,
         sensor: Optional[CrossDomainSensor] = None,
         config: Optional[DefenseConfig] = None,
+        sink: Optional[StageEventSink] = None,
     ) -> None:
         self.segmenter = segmenter
         self.sensor = sensor or CrossDomainSensor()
         self.config = config or DefenseConfig()
+        self.sink = sink
         self.detector = CorrelationDetector(self.config.detector)
         self._extractor = VibrationFeatureExtractor(
             self.config.features, sample_rate=self.sensor.vibration_rate
@@ -268,31 +291,17 @@ class DefensePipeline:
         stages consume the same RNG streams in the same order as
         :meth:`analyze`.
         """
+        ctx = StageContext(
+            pipeline=self,
+            va_audio=va_audio,
+            wearable_audio=wearable_audio,
+            generator=as_generator(rng),
+            oracle_utterance=oracle_utterance,
+            skip_segmentation=skip_segmentation,
+        )
         timings: Dict[str, float] = {}
-        generator = as_generator(rng)
-        config = self.config
-
-        start = time.perf_counter()
-        va_aligned, wearable_aligned, delay_s = synchronize_recordings(
-            va_audio, wearable_audio, config.audio_rate, config.sync
-        )
-        timings["sync"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        if skip_segmentation:
-            segments: List[Tuple[float, float]] = []
-        else:
-            segments = self._find_segments(va_aligned, oracle_utterance)
-        verdict = self._finish_analysis(
-            va_aligned,
-            wearable_aligned,
-            delay_s,
-            segments,
-            generator,
-            timings,
-            segment_start=start,
-        )
-        return verdict, timings
+        self._run_stages(ctx, default_stages(), timings, [])
+        return self._verdict_from(ctx), timings
 
     def analyze_batch(
         self,
@@ -308,9 +317,10 @@ class DefensePipeline:
         :meth:`~repro.core.segmentation.PhonemeSegmenter.segments_batch`
         call.  Everything request-specific (synchronization, oracle
         segmentation, material extraction, cross-domain sensing,
-        feature extraction, detection) still runs per request with the
-        request's own RNG stream, so each verdict is bitwise identical
-        to a sequential :meth:`analyze` call with the same arguments
+        feature extraction, detection) still runs per request — through
+        the same stage objects as :meth:`analyze` — with the request's
+        own RNG stream, so each verdict is bitwise identical to a
+        sequential :meth:`analyze` call with the same arguments
         (``dtype=None``; the opt-in float32 compute path trades that
         bitwise guarantee for speed).
 
@@ -332,30 +342,37 @@ class DefensePipeline:
         """
         items = list(items)
         outcomes = [BatchAnalysisOutcome() for _ in items]
-        synced: List[Optional[Tuple[np.ndarray, np.ndarray, float]]] = []
+        contexts: List[Optional[StageContext]] = []
+        sync_stage = tuple(
+            s for s in default_stages() if s.name == "sync"
+        )
 
         for index, item in enumerate(items):
-            start = time.perf_counter()
+            ctx = StageContext(
+                pipeline=self,
+                va_audio=item.va_audio,
+                wearable_audio=item.wearable_audio,
+                generator=as_generator(item.rng),
+                oracle_utterance=item.oracle_utterance,
+                skip_segmentation=item.skip_segmentation,
+            )
+            outcome = outcomes[index]
             try:
-                aligned = synchronize_recordings(
-                    item.va_audio,
-                    item.wearable_audio,
-                    self.config.audio_rate,
-                    self.config.sync,
+                self._run_stages(
+                    ctx, sync_stage, outcome.timings, outcome.events
                 )
             except Exception as error:  # noqa: BLE001 — isolated per item
-                outcomes[index].error = error
-                synced.append(None)
+                outcome.error = error
+                contexts.append(None)
                 continue
-            outcomes[index].timings["sync"] = time.perf_counter() - start
-            synced.append(aligned)
+            contexts.append(ctx)
 
         # One vectorized BLSTM forward for every request that needs
         # model-based segmentation.
         batched_indices = [
             index
             for index, item in enumerate(items)
-            if synced[index] is not None
+            if contexts[index] is not None
             and not item.skip_segmentation
             and item.oracle_utterance is None
             and self.segmenter is not None
@@ -363,53 +380,54 @@ class DefensePipeline:
         segment_lists: Dict[int, List[Tuple[float, float]]] = {}
         shared_segment_s = 0.0
         if batched_indices:
+            batch_fallback: Optional[str] = None
             start = time.perf_counter()
             try:
                 found = self.segmenter.segments_batch(
-                    [synced[index][0] for index in batched_indices],
+                    [
+                        contexts[index].va_aligned
+                        for index in batched_indices
+                    ],
                     dtype=dtype,
                 )
                 segment_lists.update(zip(batched_indices, found))
             except Exception:  # noqa: BLE001 — isolate per request
+                batch_fallback = "per-request"
                 for index in batched_indices:
                     try:
                         segment_lists[index] = self.segmenter.segments(
-                            synced[index][0]
+                            contexts[index].va_aligned
                         )
                     except Exception as error:  # noqa: BLE001
                         outcomes[index].error = error
-            shared_segment_s = (
-                time.perf_counter() - start
-            ) / len(batched_indices)
-
-        for index, item in enumerate(items):
-            outcome = outcomes[index]
-            if outcome.error is not None or synced[index] is None:
-                continue
-            va_aligned, wearable_aligned, delay_s = synced[index]
-            start = time.perf_counter()
-            try:
-                if index in segment_lists:
-                    segments = segment_lists[index]
-                    shared_s = shared_segment_s
-                else:
-                    shared_s = 0.0
-                    if item.skip_segmentation:
-                        segments = []
-                    else:
-                        segments = self._find_segments(
-                            va_aligned, item.oracle_utterance
-                        )
-                outcome.verdict = self._finish_analysis(
-                    va_aligned,
-                    wearable_aligned,
-                    delay_s,
-                    segments,
-                    as_generator(item.rng),
-                    outcome.timings,
-                    segment_start=start,
-                    segment_shared_s=shared_s,
+            batch_wall = time.perf_counter() - start
+            shared_segment_s = batch_wall / len(batched_indices)
+            self._emit(
+                StageEvent(
+                    stage="segment_batch",
+                    wall_s=batch_wall,
+                    batch_size=len(batched_indices),
+                    fallback=batch_fallback,
+                    scope="batch",
                 )
+            )
+
+        for index in range(len(items)):
+            outcome = outcomes[index]
+            ctx = contexts[index]
+            if outcome.error is not None or ctx is None:
+                continue
+            if index in segment_lists:
+                ctx.segments = segment_lists[index]
+                ctx.extra_stage_s["segment"] = shared_segment_s
+            try:
+                self._run_stages(
+                    ctx,
+                    stages_after_sync(),
+                    outcome.timings,
+                    outcome.events,
+                )
+                outcome.verdict = self._verdict_from(ctx)
             except Exception as error:  # noqa: BLE001 — isolated
                 outcome.error = error
         return outcomes
@@ -428,71 +446,67 @@ class DefensePipeline:
         ).score
 
     # ------------------------------------------------------------------
-    # Internals
+    # Stage driver
     # ------------------------------------------------------------------
 
-    def _finish_analysis(
+    def _emit(self, event: StageEvent) -> None:
+        emit_event(event, sink=self.sink)
+
+    def _run_stages(
         self,
-        va_aligned: np.ndarray,
-        wearable_aligned: np.ndarray,
-        delay_s: float,
-        segments: Sequence[Tuple[float, float]],
-        generator,
+        ctx: StageContext,
+        stages: Sequence[Stage],
         timings: Dict[str, float],
-        segment_start: float,
-        segment_shared_s: float = 0.0,
-    ) -> DefenseVerdict:
-        """Material extraction through detection, shared by the
-        sequential and batched paths.
+        events: List[StageEvent],
+    ) -> None:
+        """Run ``stages`` over ``ctx``, timing and emitting each one.
 
-        ``segment_start`` is when this request's segmentation stage
-        began (the ``segment`` timing covers segment finding plus
-        material extraction, as it always has); ``segment_shared_s``
-        adds this request's amortized share of a batched segmentation
-        forward.  The stages consume the same RNG streams in the same
-        order as :meth:`analyze`, so timing attribution never affects
-        the verdict.
+        A stage's wall time includes any amortized share recorded for
+        it in ``ctx.extra_stage_s`` (the batched segmentation forward).
+        On stage failure an ``error`` event is emitted (and recorded in
+        ``events``) before the exception propagates.
         """
-        config = self.config
-        va_material, wearable_material, n_segments = self._extract_material(
-            va_aligned, wearable_aligned, segments
-        )
-        timings["segment"] = segment_shared_s + (
-            time.perf_counter() - segment_start
-        )
+        for stage in stages:
+            start = time.perf_counter()
+            try:
+                stage.run(ctx)
+            except Exception as error:
+                wall = time.perf_counter() - start
+                wall += ctx.extra_stage_s.pop(stage.name, 0.0)
+                event = StageEvent(
+                    stage=stage.name,
+                    wall_s=wall,
+                    fallback=ctx.fallbacks.get(stage.name),
+                    error=type(error).__name__,
+                )
+                events.append(event)
+                self._emit(event)
+                raise
+            wall = time.perf_counter() - start
+            wall += ctx.extra_stage_s.pop(stage.name, 0.0)
+            event = StageEvent(
+                stage=stage.name,
+                wall_s=wall,
+                fallback=ctx.fallbacks.get(stage.name),
+            )
+            timings[stage.name] = wall
+            events.append(event)
+            self._emit(event)
 
-        start = time.perf_counter()
-        vibration_va = self.sensor.convert(
-            va_material, config.audio_rate,
-            rng=child_rng(generator, "replay-va"),
-            include_body_motion=config.wearer_moving,
-        )
-        vibration_wearable = self.sensor.convert(
-            wearable_material, config.audio_rate,
-            rng=child_rng(generator, "replay-wearable"),
-            include_body_motion=config.wearer_moving,
-        )
-        timings["sense"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        features_va = self._extractor.extract(vibration_va)
-        features_wearable = self._extractor.extract(vibration_wearable)
-        timings["features"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        score = self.detector.score(features_va, features_wearable)
-        is_attack: Optional[bool] = None
-        if config.detector.threshold is not None:
-            is_attack = self.detector.decide(score)
-        timings["detect"] = time.perf_counter() - start
-
+    def _verdict_from(self, ctx: StageContext) -> DefenseVerdict:
         return DefenseVerdict(
-            score=score,
-            is_attack=is_attack,
-            n_segments=n_segments,
-            analyzed_duration_s=va_material.size / config.audio_rate,
-            sync_delay_s=delay_s,
+            score=ctx.score,
+            is_attack=ctx.is_attack,
+            n_segments=ctx.n_segments,
+            analyzed_duration_s=(
+                ctx.va_material.size / self.config.audio_rate
+            ),
+            sync_delay_s=ctx.delay_s,
         )
+
+    # ------------------------------------------------------------------
+    # Component helpers used by the stage objects
+    # ------------------------------------------------------------------
 
     def _find_segments(
         self,
@@ -539,7 +553,10 @@ class DefensePipeline:
         """Cut sensitive segments from both recordings (VA's timeline).
 
         Falls back to the full recordings when segmentation yields too
-        little material for a stable correlation.
+        little material for a stable correlation.  Retained as the
+        reference implementation of the extraction contract; the stage
+        line (:class:`~repro.core.stages.SegmentStage`) implements the
+        same policy with fallback annotation.
         """
         config = self.config
         if segments:

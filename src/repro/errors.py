@@ -40,6 +40,53 @@ class CalibrationError(ReproError):
     """Detector calibration failed (e.g., degenerate score distributions)."""
 
 
+class WorkerError(ReproError):
+    """Picklable surrogate for an exception raised inside a pool worker.
+
+    Process workers may raise exceptions whose types or constructor
+    arguments do not survive the pickle trip back to the parent (or
+    worse, poison the result channel).  The runtime layer therefore
+    wraps every error that crosses a process-pool boundary in this
+    type, which carries the original class name, message, and formatted
+    traceback as plain strings and is guaranteed to round-trip through
+    pickle.
+    """
+
+    def __init__(
+        self,
+        error_type: str,
+        message: str,
+        traceback_text: str = "",
+    ) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+        self.traceback_text = traceback_text
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.error_type, self.message, self.traceback_text),
+        )
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "WorkerError":
+        """Wrap ``error`` (idempotent for existing ``WorkerError``s)."""
+        if isinstance(error, WorkerError):
+            return error
+        import traceback
+
+        return cls(
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback_text="".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+        )
+
+
 class ServiceOverloadError(ReproError):
     """The online verification service shed or refused a request.
 

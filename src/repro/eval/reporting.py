@@ -104,6 +104,23 @@ def format_runner_stats(stats, max_units: int = 12) -> str:
             f"unit work {stats.unit_wall_s:.2f}s -> speedup "
             f"{stats.unit_wall_s / stats.wall_s:.2f}x"
         )
+    stage_totals = getattr(stats, "stage_totals", None) or {}
+    if stage_totals:
+        from repro.core.pipeline import PIPELINE_STAGES
+
+        ordered = [
+            stage for stage in PIPELINE_STAGES if stage in stage_totals
+        ] + [
+            stage for stage in sorted(stage_totals)
+            if stage not in PIPELINE_STAGES
+        ]
+        lines.append(
+            "stages: "
+            + ", ".join(
+                f"{stage} {stage_totals[stage]:.2f}s"
+                for stage in ordered
+            )
+        )
     units = sorted(stats.units, key=lambda u: u.wall_s, reverse=True)
     shown = units[:max_units]
     if shown:
@@ -163,6 +180,15 @@ def format_service_metrics(metrics) -> str:
             f"vectorized: {metrics.n_batched_forwards} batched "
             f"forwards, {metrics.requests_per_forward:.2f} "
             f"requests/forward"
+        )
+    stage_fallbacks = getattr(metrics, "stage_fallbacks", None) or {}
+    if stage_fallbacks:
+        lines.append(
+            "fallbacks: "
+            + ", ".join(
+                f"{key} x{count}"
+                for key, count in sorted(stage_fallbacks.items())
+            )
         )
     rows = []
 

@@ -4,24 +4,27 @@ Every headline experiment funnels through the campaign's room × victim
 units, and every unit derives its own seed from ``(config.seed, room,
 victim)`` — so units can be scored in any order, in any process, and
 still reproduce the serial run bit for bit.  :class:`CampaignRunner`
-exploits that: it shards units across a :class:`ProcessPoolExecutor`
-(or runs them serially), folds the per-unit :class:`ScoreSet`s back
-together in deterministic unit order with :meth:`ScoreSet.merge`, and
-records per-unit wall-clock and throughput.
+exploits that: it shards units across a :class:`repro.runtime.Runtime`
+(process pool, thread pool, or inline), folds the per-unit
+:class:`ScoreSet`s back together in deterministic unit order with
+:meth:`ScoreSet.merge`, and records per-unit wall-clock, throughput,
+and per-stage pipeline time from the units' :class:`StageEvent`
+streams.
 
 Determinism contract
 --------------------
 For a fixed ``CampaignConfig.seed``, participant pool, rooms, and attack
 kinds, ``CampaignRunner(n_workers=k).run(...)`` returns an identical
-:class:`ScoreSet` for every ``k`` — the same detectors, the same score
-lists in the same order.  The regression suite
-(``tests/test_eval_runner.py``) pins this.
+:class:`ScoreSet` for every ``k`` **and every executor kind** — the
+same detectors, the same score lists in the same order.  The regression
+suite (``tests/test_eval_runner.py``, ``tests/test_runtime.py``) pins
+this.
 
 Fault tolerance
 ---------------
 If the pool cannot spawn (restricted environments, unpicklable detector
-banks) or workers die mid-campaign, the runner logs a warning and
-finishes the remaining units serially in-process; results are unchanged
+banks) or workers die mid-campaign, the runtime's fallback ladder
+finishes the remaining units inline in-process; results are unchanged
 because units are order-independent.
 """
 
@@ -29,11 +32,9 @@ from __future__ import annotations
 
 import logging
 import os
-import pickle
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.acoustics.room import RoomConfig
 from repro.attacks.base import AttackKind
@@ -48,21 +49,33 @@ from repro.eval.campaign import (
 )
 from repro.eval.participants import ParticipantPool
 from repro.phonemes.corpus import SyntheticCorpus
+from repro.runtime import (
+    INLINE,
+    PROCESS,
+    THREAD,
+    FallbackPolicy,
+    Runtime,
+    capture_stage_events,
+    validate_kind,
+)
 
 logger = logging.getLogger(__name__)
-
-#: Errors that indicate the *pool* (not the scoring) failed; the runner
-#: falls back to serial execution when it sees one of these.
-_POOL_ERRORS = (BrokenExecutor, OSError, pickle.PicklingError)
 
 
 @dataclass(frozen=True)
 class UnitStats:
-    """Wall-clock accounting for one scored campaign unit."""
+    """Wall-clock accounting for one scored campaign unit.
+
+    ``stage_s`` holds the unit's summed per-stage pipeline seconds
+    (from the :class:`~repro.runtime.StageEvent` stream its scoring
+    emitted), keyed by :data:`repro.core.pipeline.PIPELINE_STAGES`
+    names.
+    """
 
     label: str
     wall_s: float
     n_samples: int
+    stage_s: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def samples_per_s(self) -> float:
@@ -109,6 +122,15 @@ class CampaignStats:
         """Summed in-process unit time (serial-equivalent work)."""
         return sum(unit.wall_s for unit in self.units)
 
+    @property
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage pipeline seconds across all units."""
+        totals: Dict[str, float] = {}
+        for unit in self.units:
+            for stage, seconds in unit.stage_s.items():
+                totals[stage] = totals.get(stage, 0.0) + seconds
+        return totals
+
 
 @dataclass(frozen=True)
 class CampaignResult:
@@ -119,10 +141,12 @@ class CampaignResult:
 
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing.  The pool initializer parks the (read-only)
+# Worker plumbing.  The runtime initializer parks the (read-only)
 # detector bank and corpus in module globals so they are pickled once
 # per worker instead of once per unit, and so each worker's corpus
-# utterance cache stays warm across the units it executes.
+# utterance cache stays warm across the units it executes.  The inline
+# and thread rungs run the same initializer in-process, so one code
+# path serves every executor kind.
 # ----------------------------------------------------------------------
 
 _WORKER_DETECTORS: Optional[DetectorBank] = None
@@ -137,14 +161,23 @@ def _init_worker(detectors: DetectorBank, corpus: SyntheticCorpus) -> None:
 
 def _score_unit_in_worker(
     unit: CampaignUnit,
-) -> Tuple[ScoreSet, float]:
+) -> Tuple[ScoreSet, float, Dict[str, float]]:
+    """Score one unit, returning its scores, wall time, and per-stage
+    pipeline seconds (summed over the unit's recordings)."""
     start = time.perf_counter()
-    scores = score_campaign_unit(unit, _WORKER_DETECTORS, _WORKER_CORPUS)
-    return scores, time.perf_counter() - start
+    with capture_stage_events() as captured:
+        scores = score_campaign_unit(
+            unit, _WORKER_DETECTORS, _WORKER_CORPUS
+        )
+    return (
+        scores,
+        time.perf_counter() - start,
+        captured.stage_totals(),
+    )
 
 
 class CampaignRunner:
-    """Executes campaign units serially or across a process pool.
+    """Executes campaign units on the unified runtime layer.
 
     Parameters
     ----------
@@ -152,6 +185,11 @@ class CampaignRunner:
         ``1`` runs in-process (serial); ``None`` uses one worker per CPU
         core (``os.cpu_count()``); any other value caps the pool size.
         The worker count never exceeds the number of units.
+    executor:
+        Executor kind for multi-worker runs: ``"process"`` (default,
+        falls back inline if the pool cannot spawn or breaks),
+        ``"thread"``, or ``"inline"``.  Single-worker runs are always
+        inline.
 
     Examples
     --------
@@ -160,12 +198,17 @@ class CampaignRunner:
     >>> # result.scores, result.stats.samples_per_s
     """
 
-    def __init__(self, n_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        executor: str = PROCESS,
+    ) -> None:
         if n_workers is not None and int(n_workers) < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1 (or None), got {n_workers}"
             )
         self.n_workers = None if n_workers is None else int(n_workers)
+        self.executor = validate_kind(executor)
 
     def run(
         self,
@@ -199,20 +242,36 @@ class CampaignRunner:
         by unit (e.g. factor sweeps fanning several configurations into
         one pool) use this instead of :meth:`run`.
         """
+        units = list(units)
         workers = self._resolve_workers(len(units))
+        kind = INLINE if workers <= 1 else self.executor
+        runtime = Runtime(
+            kind,
+            n_workers=workers,
+            fallback=FallbackPolicy(ladder=(PROCESS, INLINE)),
+            initializer=_init_worker,
+            initargs=(detectors, corpus),
+        )
         start = time.perf_counter()
-        if workers <= 1:
-            score_sets, unit_stats = self._run_serial(
-                units, detectors, corpus
-            )
-            mode = "serial"
-        else:
-            score_sets, unit_stats, mode = self._run_pool(
-                units, detectors, corpus, workers
+        try:
+            outputs = runtime.map_units(_score_unit_in_worker, units)
+        finally:
+            runtime.shutdown()
+        score_sets: List[ScoreSet] = []
+        unit_stats: List[UnitStats] = []
+        for unit, (scores, wall_s, stage_s) in zip(units, outputs):
+            score_sets.append(scores)
+            unit_stats.append(
+                UnitStats(
+                    label=unit.label,
+                    wall_s=wall_s,
+                    n_samples=unit.n_samples,
+                    stage_s=stage_s,
+                )
             )
         stats = CampaignStats(
             n_workers=workers,
-            mode=mode,
+            mode=self._mode_label(workers, runtime),
             wall_s=time.perf_counter() - start,
             units=unit_stats,
         )
@@ -222,80 +281,22 @@ class CampaignRunner:
     # Internals
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _mode_label(workers: int, runtime: Runtime) -> str:
+        """Human-readable execution mode, preserving the historical
+        vocabulary (``serial`` / ``process-pool`` /
+        ``process-pool+serial-fallback``) plus ``thread-pool``."""
+        realized = runtime.realized_kind
+        if realized == PROCESS:
+            return "process-pool"
+        if realized == THREAD:
+            return "thread-pool"
+        if runtime.fell_back:
+            return "process-pool+serial-fallback"
+        return "serial"
+
     def _resolve_workers(self, n_units: int) -> int:
         workers = self.n_workers
         if workers is None:
             workers = os.cpu_count() or 1
         return max(1, min(workers, n_units)) if n_units else 1
-
-    @staticmethod
-    def _run_serial(
-        units: Sequence[CampaignUnit],
-        detectors: DetectorBank,
-        corpus: SyntheticCorpus,
-        skip: int = 0,
-    ) -> Tuple[List[ScoreSet], List[UnitStats]]:
-        score_sets: List[ScoreSet] = []
-        unit_stats: List[UnitStats] = []
-        for unit in list(units)[skip:]:
-            unit_start = time.perf_counter()
-            score_sets.append(
-                score_campaign_unit(unit, detectors, corpus)
-            )
-            unit_stats.append(
-                UnitStats(
-                    label=unit.label,
-                    wall_s=time.perf_counter() - unit_start,
-                    n_samples=unit.n_samples,
-                )
-            )
-        return score_sets, unit_stats
-
-    def _run_pool(
-        self,
-        units: Sequence[CampaignUnit],
-        detectors: DetectorBank,
-        corpus: SyntheticCorpus,
-        workers: int,
-    ) -> Tuple[List[ScoreSet], List[UnitStats], str]:
-        score_sets: List[ScoreSet] = []
-        unit_stats: List[UnitStats] = []
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(detectors, corpus),
-            ) as executor:
-                futures = [
-                    executor.submit(_score_unit_in_worker, unit)
-                    for unit in units
-                ]
-                # Collect in submission order: completion order varies
-                # between runs, merge order must not.
-                for unit, future in zip(units, futures):
-                    scores, wall_s = future.result()
-                    score_sets.append(scores)
-                    unit_stats.append(
-                        UnitStats(
-                            label=unit.label,
-                            wall_s=wall_s,
-                            n_samples=unit.n_samples,
-                        )
-                    )
-        except _POOL_ERRORS as error:
-            done = len(score_sets)
-            logger.warning(
-                "process pool failed after %d/%d units (%s: %s); "
-                "finishing serially",
-                done,
-                len(units),
-                type(error).__name__,
-                error,
-            )
-            tail_scores, tail_stats = self._run_serial(
-                units, detectors, corpus, skip=done
-            )
-            score_sets.extend(tail_scores)
-            unit_stats.extend(tail_stats)
-            return score_sets, unit_stats, "process-pool+serial-fallback"
-        return score_sets, unit_stats, "process-pool"

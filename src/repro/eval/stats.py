@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import CalibrationError
 from repro.eval.metrics import auc_from_scores, eer_from_scores
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.stats import quantile_values
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,7 @@ def bootstrap_metric(
         ]
         resampled[index] = metric(legit_sample, attack_sample)
     tail = (1.0 - confidence) / 2.0
-    low, high = np.quantile(resampled, [tail, 1.0 - tail])
+    low, high = quantile_values(resampled, [tail, 1.0 - tail])
     return BootstrapEstimate(
         value=point,
         low=float(low),

@@ -36,6 +36,7 @@ from repro.serve.request import (
 )
 from repro.serve.service import VerificationService
 from repro.utils.rng import derive_seed
+from repro.utils.stats import percentile as _shared_percentile
 
 #: Command texts cycled through when generating the recording pool
 #: (all phonemizable with the command lexicon).
@@ -179,14 +180,7 @@ class LoadgenReport:
 
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile (seconds) over served requests."""
-        if not self.latencies_s:
-            return float("nan")
-        return float(
-            np.percentile(
-                np.asarray(self.latencies_s, dtype=np.float64),
-                percentile,
-            )
-        )
+        return _shared_percentile(self.latencies_s, percentile)
 
     def account(self, response: VerificationResponse) -> None:
         """Fold one response into the tallies (thread-unsafe; lock)."""

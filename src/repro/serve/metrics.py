@@ -5,6 +5,13 @@ a lock; :meth:`MetricsCollector.snapshot` freezes them into a
 :class:`ServiceMetrics` value object that
 :func:`repro.eval.reporting.format_service_metrics` renders in the same
 plain-text style as the campaign runner's stats block.
+
+Stage-level observability arrives as :class:`repro.runtime.StageEvent`
+streams from the workers (:meth:`MetricsCollector.record_stage_events`)
+— the same protocol the campaign runner aggregates — so fallback
+annotations (deadline skips, full-recording degrades, runtime ladder
+demotions) are counted uniformly across the serving and evaluation
+surfaces.
 """
 
 from __future__ import annotations
@@ -12,12 +19,18 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-import numpy as np
+from repro.runtime import StageEvent
+from repro.utils.stats import (
+    REPORTED_PERCENTILES as _REPORTED_PERCENTILES,
+    percentile_values,
+)
 
 #: Percentiles reported for every latency distribution.
-REPORTED_PERCENTILES: Tuple[int, ...] = (50, 95, 99)
+REPORTED_PERCENTILES: Tuple[int, ...] = tuple(
+    int(p) for p in _REPORTED_PERCENTILES
+)
 
 
 @dataclass(frozen=True)
@@ -35,10 +48,9 @@ class LatencySummary:
     ) -> Optional["LatencySummary"]:
         if not samples:
             return None
-        values = np.asarray(samples, dtype=np.float64)
-        p50, p95, p99 = np.percentile(values, REPORTED_PERCENTILES)
+        p50, p95, p99 = percentile_values(samples, REPORTED_PERCENTILES)
         return cls(
-            count=values.size,
+            count=len(samples),
             p50_s=float(p50),
             p95_s=float(p95),
             p99_s=float(p99),
@@ -92,6 +104,10 @@ class ServiceMetrics:
     #: mean number of requests amortized per such forward.
     n_batched_forwards: int = 0
     requests_per_forward: float = 0.0
+    #: ``{"stage:fallback": count}`` over the workers' StageEvent
+    #: streams — deadline skips, full-recording degrades, and runtime
+    #: ladder demotions, all through one protocol.
+    stage_fallbacks: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def n_resolved(self) -> int:
@@ -120,6 +136,7 @@ class MetricsCollector:
         self._total_latencies: List[float] = []
         self._queue_waits: List[float] = []
         self._stage_latencies: Dict[str, List[float]] = {}
+        self._stage_fallbacks: Dict[str, int] = {}
 
     def record_submitted(self) -> None:
         with self._lock:
@@ -147,6 +164,24 @@ class MetricsCollector:
         with self._lock:
             self.n_batched_forwards += 1
             self.n_batched_forward_requests += size
+
+    def record_stage_events(
+        self, events: Iterable[StageEvent]
+    ) -> None:
+        """Fold a worker's :class:`StageEvent` stream into the counters.
+
+        Fallback annotations become ``stage:fallback`` counts; stage
+        wall times are *not* re-recorded here (they arrive once via
+        :meth:`record_served`'s timing dict, which the pipeline derives
+        from the same events).
+        """
+        with self._lock:
+            for event in events:
+                if event.fallback is not None:
+                    key = f"{event.stage}:{event.fallback}"
+                    self._stage_fallbacks[key] = (
+                        self._stage_fallbacks.get(key, 0) + 1
+                    )
 
     def record_served(
         self,
@@ -210,4 +245,5 @@ class MetricsCollector:
                     if self.n_batched_forwards
                     else 0.0
                 ),
+                stage_fallbacks=dict(self._stage_fallbacks),
             )

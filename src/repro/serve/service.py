@@ -394,6 +394,11 @@ class VerificationService:
             n_batched = sum(1 for result in results if result.batched)
             if n_batched:
                 self.metrics_collector.record_batched_forward(n_batched)
+            for result in results:
+                if result.events:
+                    self.metrics_collector.record_stage_events(
+                        result.events
+                    )
             by_id: Dict[int, WorkerResult] = dict(enumerate(results))
             now = time.monotonic()
             for index, entry in enumerate(entries):

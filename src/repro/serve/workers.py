@@ -10,31 +10,24 @@ on the pipeline spec, the recordings, and the request's integer seed,
 so any worker (thread or process, warm or cold) returns bitwise the
 same answer as a direct ``DefensePipeline.verify`` call.
 
-Two execution modes share one code path:
+Execution runs on the unified :class:`repro.runtime.Runtime`:
 
 ``thread``
-    A :class:`~concurrent.futures.ThreadPoolExecutor` whose workers
-    share this process's memoized segmenter (training happens once per
-    process).  LSTM inference is read-only, so sharing is safe.
+    Workers share this process's memoized segmenter (training happens
+    once per process).  LSTM inference is read-only, so sharing is
+    safe.
 ``process``
-    A :class:`~concurrent.futures.ProcessPoolExecutor` with an
-    initializer that builds the warm pipeline in each worker process.
-    Falls back to threads when the platform cannot spawn processes,
-    mirroring :class:`repro.eval.runner.CampaignRunner`.
+    Each worker process builds the warm pipeline in its initializer.
+    A warm-up probe forces spawn/initializer failures to surface at
+    start, where the runtime's fallback ladder demotes to threads —
+    the same ladder :class:`repro.eval.runner.CampaignRunner` rides.
 """
 
 from __future__ import annotations
 
 import logging
-import pickle
 import threading
 import time
-from concurrent.futures import (
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -46,14 +39,19 @@ from repro.core.pipeline import (
 )
 from repro.core.segmentation import PhonemeSegmenter, default_segmenter
 from repro.errors import ConfigurationError
+from repro.runtime import (
+    PROCESS,
+    THREAD,
+    FallbackPolicy,
+    Runtime,
+    StageEvent,
+    capture_stage_events,
+)
 from repro.serve.batching import Batch
 from repro.serve.request import VerificationRequest
 from repro.utils.rng import stable_fingerprint
 
 logger = logging.getLogger(__name__)
-
-#: Pool-spawn failures that trigger the thread fallback.
-_POOL_ERRORS = (BrokenExecutor, OSError, pickle.PicklingError)
 
 
 @dataclass(frozen=True)
@@ -148,7 +146,10 @@ class WorkerResult:
     ``batched`` records whether the request was served by the
     vectorized fast path (one masked BLSTM forward shared by the whole
     micro-batch) rather than a per-request pipeline run; the service
-    aggregates it into the ``batched_forward`` metrics.
+    aggregates it into the ``batched_forward`` metrics.  ``events``
+    carries the request's :class:`StageEvent` stream (stage timings,
+    fallback annotations, error classes), which the service feeds into
+    its metrics sink.
     """
 
     request_id: str
@@ -158,6 +159,7 @@ class WorkerResult:
     exec_s: float = 0.0
     error: Optional[str] = None
     batched: bool = False
+    events: List[StageEvent] = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -246,19 +248,21 @@ def _run_one(
     """Serve one request sequentially (also the per-request fallback)."""
     start = time.perf_counter()
     try:
-        verdict, timings = pipeline.analyze_timed(
-            request.va_audio,
-            request.wearable_audio,
-            rng=int(request.seed),
-            oracle_utterance=request.oracle_utterance,
-            skip_segmentation=degraded,
-        )
+        with capture_stage_events() as captured:
+            verdict, timings = pipeline.analyze_timed(
+                request.va_audio,
+                request.wearable_audio,
+                rng=int(request.seed),
+                oracle_utterance=request.oracle_utterance,
+                skip_segmentation=degraded,
+            )
         return WorkerResult(
             request_id=request.request_id,
             verdict=verdict,
             degraded=degraded,
             stage_timings_s=timings,
             exec_s=time.perf_counter() - start,
+            events=captured.events,
         )
     except Exception as error:  # noqa: BLE001 — reported per request
         return WorkerResult(
@@ -266,6 +270,7 @@ def _run_one(
             degraded=degraded,
             exec_s=time.perf_counter() - start,
             error=f"{type(error).__name__}: {error}",
+            events=captured.events,
         )
 
 
@@ -316,7 +321,8 @@ def _execute_vectorized(
         for (request, _), degraded in zip(items, degraded_flags)
     ]
     try:
-        outcomes = pipeline.analyze_batch(batch_items)
+        with capture_stage_events() as captured:
+            outcomes = pipeline.analyze_batch(batch_items)
     except Exception as error:  # noqa: BLE001 — sequential fallback
         logger.warning(
             "batched inference failed (%s: %s); "
@@ -341,13 +347,25 @@ def _execute_vectorized(
                 stage_timings_s=outcome.timings,
                 exec_s=exec_share_s,
                 batched=True,
+                events=list(outcome.events),
             )
         )
+    # Batch-scoped events (the shared segmentation forward) belong to
+    # the batch, not any one request; attach them once so the service's
+    # sink counts each forward exactly once.
+    batch_events = [e for e in captured.events if e.scope == "batch"]
+    if batch_events and results:
+        results[0].events.extend(batch_events)
     return results
 
 
 class WarmWorkerPool:
     """Persistent executor whose workers hold trained pipelines.
+
+    A thin façade over :class:`repro.runtime.Runtime`: the pool picks
+    the ladder (process demotes to thread; thread runs rung-solo), the
+    warm-up probe, and the worker initializer, and the runtime owns all
+    pool construction and fallback mechanics.
 
     Parameters
     ----------
@@ -370,7 +388,7 @@ class WarmWorkerPool:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {n_workers}"
             )
-        if mode not in ("thread", "process"):
+        if mode not in (THREAD, PROCESS):
             raise ConfigurationError(
                 f"mode must be 'thread' or 'process', got {mode!r}"
             )
@@ -378,58 +396,45 @@ class WarmWorkerPool:
         self.n_workers = int(n_workers)
         self.mode = mode
         self.realized_mode: Optional[str] = None
-        self._executor = None
+        self._runtime: Optional[Runtime] = None
 
     def start(self) -> None:
-        """Spawn the executor and warm every worker."""
-        if self._executor is not None:
+        """Spawn the executor and warm every worker.
+
+        In process mode the runtime probes every worker with one empty
+        batch, forcing spawn and initializer failures to surface here —
+        where the ladder can still demote to threads — instead of
+        mid-traffic.
+        """
+        if self._runtime is not None:
             return
-        if self.mode == "process":
-            try:
-                executor = ProcessPoolExecutor(
-                    max_workers=self.n_workers,
-                    initializer=_init_worker,
-                    initargs=(self.spec,),
-                )
-                # Force worker spawn (and initializer failures) now by
-                # running one empty batch per worker.
-                probe = (self.spec, (16_000.0, False), [])
-                for future in [
-                    executor.submit(execute_batch, probe)
-                    for _ in range(self.n_workers)
-                ]:
-                    future.result()
-                self._executor = executor
-                self.realized_mode = "process"
-                return
-            except _POOL_ERRORS as error:
-                logger.warning(
-                    "process pool unavailable (%s: %s); "
-                    "falling back to threads",
-                    type(error).__name__,
-                    error,
-                )
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.n_workers,
-            thread_name_prefix="verify-worker",
+        runtime = Runtime(
+            kind=self.mode,
+            n_workers=self.n_workers,
+            fallback=FallbackPolicy(ladder=(PROCESS, THREAD)),
             initializer=_init_worker,
             initargs=(self.spec,),
+            probe=(
+                execute_batch,
+                ((self.spec, (16_000.0, False), []),),
+            ),
+            thread_name_prefix="verify-worker",
         )
-        self.realized_mode = "thread"
+        runtime.start()
+        self._runtime = runtime
+        self.realized_mode = runtime.realized_kind
 
-    def submit(
-        self, batch: Batch, ages_s: List[float]
-    ) -> "Future[List[WorkerResult]]":
+    def submit(self, batch: Batch, ages_s: List[float]):
         """Dispatch one micro-batch; returns the executor future."""
-        if self._executor is None:
+        if self._runtime is None:
             raise ConfigurationError("pool not started; call start()")
         items = list(zip(batch.entries, ages_s))
-        return self._executor.submit(
+        return self._runtime.submit(
             execute_batch, (self.spec, batch.key, items)
         )
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the executor (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait)
-            self._executor = None
+        if self._runtime is not None:
+            self._runtime.shutdown(wait=wait)
+            self._runtime = None

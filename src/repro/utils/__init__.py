@@ -6,6 +6,12 @@ from repro.utils.rng import (
     child_rng,
     spawn_rngs,
 )
+from repro.utils.stats import (
+    REPORTED_PERCENTILES,
+    percentile,
+    percentile_values,
+    quantile_values,
+)
 from repro.utils.validation import (
     ensure_1d,
     ensure_2d,
@@ -15,9 +21,13 @@ from repro.utils.validation import (
 
 __all__ = [
     "DEFAULT_SEED",
+    "REPORTED_PERCENTILES",
     "as_generator",
     "child_rng",
     "spawn_rngs",
+    "percentile",
+    "percentile_values",
+    "quantile_values",
     "ensure_1d",
     "ensure_2d",
     "ensure_positive",

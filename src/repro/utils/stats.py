@@ -1,0 +1,59 @@
+"""Shared quantile/percentile computation.
+
+Latency percentiles (serving metrics, loadgen reports, stage-event
+summaries) and bootstrap interval tails (evaluation statistics) all
+reduce a sample list to a handful of quantiles.  This module is the
+single implementation they share, with the edge cases pinned: an empty
+sample set yields NaNs rather than raising, and a single sample is its
+own value at every quantile.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Percentiles reported for every latency distribution (p50/p95/p99).
+REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def quantile_values(
+    samples: Sequence[float], fractions: Sequence[float]
+) -> np.ndarray:
+    """Quantiles of ``samples`` at ``fractions`` (each in ``[0, 1]``).
+
+    Returns one value per requested fraction, computed with NumPy's
+    default linear interpolation.  An empty sample set returns NaNs of
+    the same shape; a single sample is returned for every fraction.
+    """
+    fracs = np.atleast_1d(np.asarray(fractions, dtype=np.float64))
+    if fracs.size and (fracs.min() < 0.0 or fracs.max() > 1.0):
+        raise ConfigurationError(
+            f"quantile fractions must lie in [0, 1], got {fractions!r}"
+        )
+    values = np.asarray(samples, dtype=np.float64).ravel()
+    if values.size == 0:
+        return np.full(fracs.shape, np.nan)
+    return np.quantile(values, fracs)
+
+
+def percentile_values(
+    samples: Sequence[float], percentiles: Sequence[float]
+) -> np.ndarray:
+    """:func:`quantile_values` with percentile (0–100) arguments.
+
+    Bitwise-equivalent to ``np.percentile`` on non-empty input (the
+    same divide-by-100 then ``np.quantile`` path NumPy takes).
+    """
+    fractions = (
+        np.atleast_1d(np.asarray(percentiles, dtype=np.float64)) / 100.0
+    )
+    return quantile_values(samples, fractions)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Single percentile as a float (NaN on an empty sample set)."""
+    return float(percentile_values(samples, [float(q)])[0])

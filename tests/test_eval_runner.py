@@ -157,13 +157,13 @@ class TestGracefulFallback:
     def test_pool_spawn_failure_falls_back_to_serial(
         self, campaign, serial_result, monkeypatch
     ):
-        import repro.eval.runner as runner_module
+        import repro.runtime.executor as executor_module
 
         def broken_executor(*args, **kwargs):
             raise OSError("no processes available")
 
         monkeypatch.setattr(
-            runner_module, "ProcessPoolExecutor", broken_executor
+            executor_module, "ProcessPoolExecutor", broken_executor
         )
         pool, detectors, config, corpus = campaign
         result = CampaignRunner(n_workers=4).run(

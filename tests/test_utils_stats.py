@@ -1,0 +1,78 @@
+"""Shared quantile helper: edge cases and bitwise np.percentile parity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.metrics import LatencySummary
+from repro.utils.stats import (
+    REPORTED_PERCENTILES,
+    percentile,
+    percentile_values,
+    quantile_values,
+)
+
+
+class TestQuantileValues:
+    def test_empty_samples_yield_nans(self):
+        values = quantile_values([], [0.5, 0.95])
+        assert values.shape == (2,)
+        assert np.isnan(values).all()
+
+    def test_single_sample_is_every_quantile(self):
+        values = quantile_values([3.25], [0.0, 0.5, 0.95, 1.0])
+        assert (values == 3.25).all()
+
+    def test_matches_numpy_quantile_bitwise(self):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(size=101)
+        fractions = [0.05, 0.5, 0.95, 0.99]
+        ours = quantile_values(samples, fractions)
+        theirs = np.quantile(samples, fractions)
+        assert (ours == theirs).all()
+
+    def test_rejects_fractions_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            quantile_values([1.0, 2.0], [1.5])
+        with pytest.raises(ConfigurationError):
+            quantile_values([1.0, 2.0], [-0.01])
+
+
+class TestPercentileValues:
+    def test_matches_numpy_percentile_bitwise(self):
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(size=73)
+        ours = percentile_values(samples, REPORTED_PERCENTILES)
+        theirs = np.percentile(samples, REPORTED_PERCENTILES)
+        assert (ours == theirs).all()
+
+    def test_scalar_helper(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_sample(self):
+        p50, p95, p99 = percentile_values([0.125], REPORTED_PERCENTILES)
+        assert p50 == p95 == p99 == 0.125
+
+
+class TestLatencySummaryIntegration:
+    def test_empty_returns_none(self):
+        assert LatencySummary.from_samples([]) is None
+
+    def test_single_sample_summary(self):
+        summary = LatencySummary.from_samples([0.25])
+        assert summary.count == 1
+        assert summary.p50_s == summary.p95_s == summary.p99_s == 0.25
+
+    def test_matches_legacy_numpy_percentile(self):
+        rng = np.random.default_rng(3)
+        samples = list(rng.uniform(0.001, 0.2, size=50))
+        summary = LatencySummary.from_samples(samples)
+        p50, p95, p99 = np.percentile(
+            np.asarray(samples, dtype=np.float64), (50, 95, 99)
+        )
+        assert summary.p50_s == float(p50)
+        assert summary.p95_s == float(p95)
+        assert summary.p99_s == float(p99)
