@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
-	perf-smoke runtime-smoke bench examples clean
+	perf-smoke runtime-smoke segmenter-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -61,6 +61,23 @@ runtime-smoke:
 		--worker-mode thread --requests 8 --concurrency 4 --seed 0
 	$(PYTHON) -m repro loadgen --segmenter none --workers 2 \
 		--worker-mode process --requests 8 --concurrency 4 --seed 0
+
+# Segmenter smoke: both segmentation backends through the full stack.
+# Unit/property tests pin the protocol, bounds, parity, and the RD
+# backend's zero-training contract; then a 2-worker serve run and a
+# small campaign must succeed under the trained BLSTM (--segmenter
+# paper) AND the training-free rate-distortion backend (--segmenter
+# rd).
+segmenter-smoke:
+	$(PYTHON) -m pytest tests/test_segmenter_backends.py -q
+	$(PYTHON) -m repro loadgen --segmenter paper --workers 2 \
+		--requests 8 --concurrency 4 --seed 0
+	$(PYTHON) -m repro loadgen --segmenter rd --workers 2 \
+		--requests 8 --concurrency 4 --seed 0
+	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 \
+		--workers 2 --segmenter paper
+	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 \
+		--workers 2 --segmenter rd
 
 # Perf smoke: the vectorized micro-batch path must beat the
 # sequential loop at batch 8 (exits non-zero otherwise).

@@ -1,0 +1,162 @@
+"""Segmenter backends: trained BLSTM vs training-free rate-distortion.
+
+Compares the paper's BLSTM frame classifier against the
+rate-distortion backend on the axes that matter for choosing one at
+deployment: frame accuracy against the alignment labels, temporal IoU
+of the detected segments against the oracle segments, and
+time-to-first-verdict (segmenter construction + one full pipeline
+analysis, i.e. what a cold serving worker pays before it can answer).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit, run_once
+from repro.attacks.scenario import AttackScenario
+from repro.core.pipeline import DefensePipeline
+from repro.core.rate_distortion import RateDistortionSegmenter
+from repro.core.segmentation import (
+    PhonemeSegmenter,
+    train_default_segmenter,
+    training_run_count,
+)
+from repro.eval.reporting import format_table
+from repro.eval.rooms import ROOM_A
+from repro.phonemes.commands import VA_COMMANDS, phonemize
+from repro.phonemes.corpus import SyntheticCorpus
+
+N_UTTERANCES = 6
+#: Same training-recipe sizing as bench_cold_start, for comparability.
+BLSTM_RECIPE = dict(n_speakers=4, n_per_phoneme=8, epochs=12)
+
+
+def _segment_iou(predicted, reference, duration_s):
+    """Temporal IoU of two segment lists, rasterized at 1 ms."""
+    grid = np.zeros(max(int(round(duration_s * 1000)), 1), dtype=np.uint8)
+    masks = []
+    for segments in (predicted, reference):
+        mask = grid.copy()
+        for start, end in segments:
+            begin = max(int(round(start * 1000)), 0)
+            stop = min(int(round(end * 1000)), mask.size)
+            mask[begin:stop] = 1
+        masks.append(mask.astype(bool))
+    union = float((masks[0] | masks[1]).sum())
+    if union == 0:
+        return 1.0
+    return float((masks[0] & masks[1]).sum()) / union
+
+
+def _quality(blstm, rd, corpus):
+    """Mean frame accuracy and oracle-segment IoU per backend."""
+    oracle = PhonemeSegmenter(rng=0)  # untrained: labels/oracle only
+    accuracy = {"blstm": [], "rd": []}
+    iou = {"blstm": [], "rd": []}
+    for index in range(N_UTTERANCES):
+        command = VA_COMMANDS[index % len(VA_COMMANDS)]
+        utterance = corpus.utterance(
+            phonemize(command), rng=700 + index
+        )
+        wave = utterance.waveform
+        duration = wave.size / utterance.sample_rate
+        labels = oracle.frame_labels(utterance).astype(bool)
+        reference = oracle.oracle_segments(utterance)
+        for name, segmenter in (("blstm", blstm), ("rd", rd)):
+            threshold = segmenter.config.decision_threshold
+            predicted = (
+                segmenter.frame_probabilities(wave) >= threshold
+            )
+            accuracy[name].append(float((predicted == labels).mean()))
+            iou[name].append(
+                _segment_iou(segmenter.segments(wave), reference,
+                             duration)
+            )
+    return (
+        {name: float(np.mean(values)) for name, values in
+         accuracy.items()},
+        {name: float(np.mean(values)) for name, values in iou.items()},
+    )
+
+
+def _time_to_first_verdict(corpus):
+    """Cold segmenter build + one pipeline analysis, per backend."""
+    scenario = AttackScenario(room_config=ROOM_A)
+    utterance = corpus.utterance(
+        phonemize(VA_COMMANDS[0]), rng=800
+    )
+    va, wearable = scenario.legitimate_recordings(
+        utterance, spl_db=70.0, rng=801
+    )
+
+    def first_verdict(build):
+        start = time.perf_counter()
+        pipeline = DefensePipeline(segmenter=build())
+        pipeline.analyze(va, wearable, rng=802)
+        return time.perf_counter() - start
+
+    runs_before = training_run_count()
+    rd_s = first_verdict(RateDistortionSegmenter)
+    rd_trained = training_run_count() - runs_before
+    # Fresh training (not the memoized default_segmenter): this is the
+    # cold path a store-less worker pays.
+    blstm_s = first_verdict(
+        lambda: train_default_segmenter(seed=1234, **BLSTM_RECIPE)
+    )
+    return blstm_s, rd_s, rd_trained
+
+
+def _compare(blstm):
+    corpus = SyntheticCorpus(n_speakers=4, seed=9700)
+    rd = RateDistortionSegmenter()
+    accuracy, iou = _quality(blstm, rd, corpus)
+    blstm_ttfv_s, rd_ttfv_s, rd_trained = _time_to_first_verdict(corpus)
+    return {
+        "accuracy": accuracy,
+        "iou": iou,
+        "ttfv_s": {"blstm": blstm_ttfv_s, "rd": rd_ttfv_s},
+        "rd_training_runs": rd_trained,
+    }
+
+
+def test_segmenter_backends(benchmark, trained_segmenter):
+    results = run_once(benchmark, lambda: _compare(trained_segmenter))
+    recipe = "x".join(str(v) for v in BLSTM_RECIPE.values())
+    rows = [
+        (
+            name,
+            f"{results['accuracy'][key]:.3f}",
+            f"{results['iou'][key]:.3f}",
+            f"{results['ttfv_s'][key]:.2f}",
+            trained,
+        )
+        for name, key, trained in (
+            (f"BLSTM (trained, {recipe})", "blstm", "yes"),
+            ("rate-distortion (training-free)", "rd", "no"),
+        )
+    ]
+    emit(
+        "segmenter_backends",
+        format_table(
+            ["backend", "frame acc", "segment IoU",
+             "first verdict s", "trains"],
+            rows,
+            title=(
+                "Segmenter backends — frame accuracy / oracle-segment "
+                f"IoU over {N_UTTERANCES} utterances, cold "
+                "time-to-first-verdict"
+            ),
+        ),
+    )
+    # Both backends must be usable (well above chance); the RD backend
+    # must additionally be much faster to first verdict, with zero
+    # training runs.  (On this synthetic corpus the two land within a
+    # few points of each other — neither ordering is pinned.)
+    assert results["accuracy"]["blstm"] >= 0.6
+    assert results["accuracy"]["rd"] >= 0.6
+    assert results["iou"]["blstm"] >= 0.3
+    assert results["iou"]["rd"] >= 0.3
+    assert results["rd_training_runs"] == 0
+    assert results["ttfv_s"]["rd"] < results["ttfv_s"]["blstm"] / 5.0

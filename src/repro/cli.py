@@ -83,6 +83,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "(results are identical for any kind)"
         ),
     )
+    evaluate.add_argument(
+        "--segmenter",
+        choices=["fast", "paper", "rd"],
+        default="paper",
+        help=(
+            "segmenter backend for the full system: fast (BLSTM, tiny "
+            "training set), paper (BLSTM, full recipe), rd "
+            "(training-free rate-distortion)"
+        ),
+    )
 
     study = sub.add_parser(
         "attack-study", help="Table I-style VA vulnerability study"
@@ -146,12 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         serving.add_argument(
             "--segmenter",
-            choices=["none", "fast", "paper"],
+            choices=["none", "fast", "paper", "rd"],
             default="fast",
             help=(
-                "segmenter recipe workers warm up with: none (skip "
-                "segmentation), fast (tiny training set), paper "
-                "(full recipe; slow startup)"
+                "segmenter backend workers warm up with: none (skip "
+                "segmentation), fast (BLSTM, tiny training set), paper "
+                "(BLSTM, full recipe; slow startup), rd (training-free "
+                "rate-distortion; instant startup, no store needed)"
             ),
         )
         serving.add_argument(
@@ -269,22 +280,43 @@ def _resolve_workers(count: int) -> Optional[int]:
     return None if count == 0 else count
 
 
+def _build_eval_segmenter(backend: str, seed: int):
+    """Segmenter for ``repro evaluate``'s full-system detector."""
+    from repro.core.rate_distortion import RateDistortionSegmenter
+    from repro.core.segmentation import default_segmenter
+
+    if backend == "rd":
+        return RateDistortionSegmenter()
+    if backend == "fast":
+        return default_segmenter(
+            seed=seed, n_speakers=2, n_per_phoneme=3, epochs=3
+        )
+    return default_segmenter(seed=seed)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.attacks.base import AttackKind
-    from repro.core.segmentation import train_default_segmenter
     from repro.eval.campaign import CampaignConfig, DetectorBank
     from repro.eval.experiment import run_attack_experiment
     from repro.eval.reporting import format_runner_stats
     from repro.eval.runner import CampaignRunner
 
     workers = _resolve_workers(args.workers)
-    print("Training segmenter...")
+    segmenter_backend = getattr(args, "segmenter", "paper")
+    if segmenter_backend == "rd":
+        print("Using the training-free rate-distortion segmenter...")
+    else:
+        print("Training segmenter...")
     detectors = DetectorBank(
-        segmenter=train_default_segmenter(seed=args.seed)
+        segmenter=_build_eval_segmenter(segmenter_backend, args.seed)
     )
     config = CampaignConfig(
         n_commands_per_participant=args.commands,
         n_attacks_per_kind=args.attacks,
+        # Oracle segmentation reads ground-truth alignments, which only
+        # the BLSTM backend's evaluation protocol uses; the RD backend
+        # is scored on its own online segmentation.
+        use_oracle_segmentation=segmenter_backend != "rd",
         seed=args.seed,
     )
     print("Running the campaign (this takes a few minutes)...")
@@ -408,11 +440,12 @@ def _resolve_service_config(args: argparse.Namespace):
 
 
 def _resolve_pipeline_spec(args: argparse.Namespace):
-    """Map ``--segmenter {none,fast,paper}`` to a worker recipe.
+    """Map ``--segmenter {none,fast,paper,rd}`` to a worker recipe.
 
     ``--store-dir`` (or ``$REPRO_STORE_DIR``) threads the artifact
     store into the spec so workers load published weights instead of
-    retraining; ``--no-store`` forces in-process training.
+    retraining; ``--no-store`` forces in-process training.  The ``rd``
+    backend is training-free, so the store is never consulted for it.
     """
     from repro.serve import PipelineSpec
     from repro.store.cli import resolve_store_dir
@@ -422,6 +455,8 @@ def _resolve_pipeline_spec(args: argparse.Namespace):
         store_dir = resolve_store_dir(args.store_dir)
     if args.segmenter == "none":
         return PipelineSpec(use_segmenter=False)
+    if args.segmenter == "rd":
+        return PipelineSpec(segmenter_backend="rd")
     if args.segmenter == "fast":
         return PipelineSpec(
             segmenter_seed=args.seed,

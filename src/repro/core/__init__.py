@@ -21,10 +21,19 @@ from repro.core.detector import (
     DetectorConfig,
 )
 from repro.core.sync import SyncConfig, synchronize_recordings
+from repro.core.segmenter import (
+    PersistentSegmenter,
+    Segmenter,
+    mask_to_segments,
+)
 from repro.core.segmentation import (
     PhonemeSegmenter,
     SegmenterConfig,
     concatenate_segments,
+)
+from repro.core.rate_distortion import (
+    RateDistortionConfig,
+    RateDistortionSegmenter,
 )
 from repro.core.baselines import (
     AudioDomainBaseline,
@@ -59,9 +68,14 @@ __all__ = [
     "DetectorConfig",
     "SyncConfig",
     "synchronize_recordings",
+    "PersistentSegmenter",
+    "Segmenter",
+    "mask_to_segments",
     "PhonemeSegmenter",
     "SegmenterConfig",
     "concatenate_segments",
+    "RateDistortionConfig",
+    "RateDistortionSegmenter",
     "AudioDomainBaseline",
     "VibrationBaselineNoSelection",
     "DefenseConfig",

@@ -24,10 +24,8 @@ import numpy as np
 
 from repro.core.detector import CorrelationDetector, DetectorConfig
 from repro.core.features import FeatureConfig, VibrationFeatureExtractor
-from repro.core.segmentation import (
-    PhonemeSegmenter,
-    concatenate_segments,
-)
+from repro.core.segmentation import concatenate_segments
+from repro.core.segmenter import Segmenter
 from repro.core.stages import (
     Stage,
     StageContext,
@@ -162,8 +160,13 @@ class DefensePipeline:
     Parameters
     ----------
     segmenter:
-        A (trained) sensitive-phoneme segmenter, or ``None`` to analyze
-        full recordings (equivalent to the no-selection baseline).
+        Any :class:`~repro.core.segmenter.Segmenter` backend — the
+        paper's trained BLSTM
+        (:class:`~repro.core.segmentation.PhonemeSegmenter`), the
+        training-free rate-distortion backend
+        (:class:`~repro.core.rate_distortion.RateDistortionSegmenter`),
+        or ``None`` to analyze full recordings (equivalent to the
+        no-selection baseline).
     sensor:
         Cross-domain sensor of the user's wearable.
     config:
@@ -180,7 +183,7 @@ class DefensePipeline:
 
     def __init__(
         self,
-        segmenter: Optional[PhonemeSegmenter] = None,
+        segmenter: Optional[Segmenter] = None,
         sensor: Optional[CrossDomainSensor] = None,
         config: Optional[DefenseConfig] = None,
         sink: Optional[StageEventSink] = None,

@@ -21,6 +21,7 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.segmenter import mask_to_segments
 from repro.dsp.mel import mfcc
 from repro.errors import ConfigurationError, ModelError
 from repro.nn.model import (
@@ -493,9 +494,12 @@ class PhonemeSegmenter:
 
     def segments(self, audio: np.ndarray) -> List[Tuple[float, float]]:
         """Detected sensitive-phoneme segments as (start_s, end_s) pairs."""
-        probabilities = self.frame_probabilities(audio)
+        samples = ensure_1d(audio, "audio")
+        probabilities = self.frame_probabilities(samples)
         mask = probabilities >= self.config.decision_threshold
-        return self._mask_to_segments(mask)
+        return self._mask_to_segments(
+            mask, samples.size / self.sample_rate
+        )
 
     def segments_batch(
         self, audios: Sequence[np.ndarray], dtype=None
@@ -506,12 +510,15 @@ class PhonemeSegmenter:
         ``(start_s, end_s)`` pairs per input, in order, with the same
         parity contract as :meth:`frame_probabilities_batch`.
         """
+        audios = [ensure_1d(audio, "audio") for audio in audios]
         return [
             self._mask_to_segments(
-                probabilities >= self.config.decision_threshold
+                probabilities >= self.config.decision_threshold,
+                samples.size / self.sample_rate,
             )
-            for probabilities in self.frame_probabilities_batch(
-                audios, dtype=dtype
+            for samples, probabilities in zip(
+                audios,
+                self.frame_probabilities_batch(audios, dtype=dtype),
             )
         ]
 
@@ -591,31 +598,17 @@ class PhonemeSegmenter:
         self._trained = True
 
     def _mask_to_segments(
-        self, mask: np.ndarray
+        self, mask: np.ndarray, duration_s: float
     ) -> List[Tuple[float, float]]:
         config = self.config
-        hop = config.hop_length_s
-        segments: List[Tuple[float, float]] = []
-        start: Optional[int] = None
-        for index, positive in enumerate(list(mask) + [False]):
-            if positive and start is None:
-                start = index
-            elif not positive and start is not None:
-                segments.append(
-                    (start * hop, index * hop + config.frame_length_s)
-                )
-                start = None
-        merged: List[Tuple[float, float]] = []
-        for begin, end in segments:
-            if merged and begin - merged[-1][1] <= config.merge_gap_s:
-                merged[-1] = (merged[-1][0], end)
-            else:
-                merged.append((begin, end))
-        return [
-            (begin, end)
-            for begin, end in merged
-            if end - begin >= config.min_segment_s
-        ]
+        return mask_to_segments(
+            mask,
+            hop_s=config.hop_length_s,
+            frame_length_s=config.frame_length_s,
+            duration_s=duration_s,
+            merge_gap_s=config.merge_gap_s,
+            min_segment_s=config.min_segment_s,
+        )
 
 
 def train_default_segmenter(
@@ -651,6 +644,11 @@ def train_default_segmenter(
 # scores (pinned by tests/test_serve_warm.py).
 _WARM_SEGMENTERS: dict = {}
 _WARM_LOCK = threading.Lock()
+# Per-recipe training locks.  Concurrent misses on the *same* recipe
+# must not each train a full BLSTM (and double-count _TRAINING_RUNS);
+# concurrent misses on *different* recipes must not serialize behind
+# one global lock while a slow training runs.
+_RECIPE_LOCKS: dict = {}
 
 
 def default_segmenter(
@@ -684,29 +682,37 @@ def default_segmenter(
     key = (seed, int(n_speakers), int(n_per_phoneme), int(epochs))
     with _WARM_LOCK:
         cached = _WARM_SEGMENTERS.get(key)
-    if cached is not None:
-        return cached
-    if store is not None:
-        # Imported lazily: repro.store.registry imports this module.
-        from repro.store.registry import ModelRegistry
+        if cached is not None:
+            return cached
+        recipe_lock = _RECIPE_LOCKS.setdefault(key, threading.Lock())
+    # Serialize per recipe: exactly one thread trains (or store-loads)
+    # a given recipe; the losers of the race block here and then hit
+    # the memo instead of redundantly training a full BLSTM each.
+    with recipe_lock:
+        with _WARM_LOCK:
+            cached = _WARM_SEGMENTERS.get(key)
+        if cached is not None:
+            return cached
+        if store is not None:
+            # Imported lazily: repro.store.registry imports this module.
+            from repro.store.registry import ModelRegistry
 
-        segmenter, _ = ModelRegistry(store).segmenter(
-            seed=seed,
-            n_speakers=n_speakers,
-            n_per_phoneme=n_per_phoneme,
-            epochs=epochs,
-        )
-    else:
-        segmenter = train_default_segmenter(
-            seed=seed,
-            n_speakers=n_speakers,
-            n_per_phoneme=n_per_phoneme,
-            epochs=epochs,
-        )
-    with _WARM_LOCK:
-        # Another thread may have trained the same recipe concurrently;
-        # keep the first so every caller shares one instance.
-        return _WARM_SEGMENTERS.setdefault(key, segmenter)
+            segmenter, _ = ModelRegistry(store).segmenter(
+                seed=seed,
+                n_speakers=n_speakers,
+                n_per_phoneme=n_per_phoneme,
+                epochs=epochs,
+            )
+        else:
+            segmenter = train_default_segmenter(
+                seed=seed,
+                n_speakers=n_speakers,
+                n_per_phoneme=n_per_phoneme,
+                epochs=epochs,
+            )
+        with _WARM_LOCK:
+            _WARM_SEGMENTERS[key] = segmenter
+        return segmenter
 
 
 def build_training_pairs(

@@ -37,7 +37,9 @@ from repro.core.pipeline import (
     DefenseConfig,
     DefensePipeline,
 )
-from repro.core.segmentation import PhonemeSegmenter, default_segmenter
+from repro.core.rate_distortion import RateDistortionSegmenter
+from repro.core.segmentation import default_segmenter
+from repro.core.segmenter import Segmenter
 from repro.errors import ConfigurationError
 from repro.runtime import (
     PROCESS,
@@ -54,6 +56,12 @@ from repro.utils.rng import stable_fingerprint
 logger = logging.getLogger(__name__)
 
 
+#: Segmenter backend names a :class:`PipelineSpec` accepts.
+BACKEND_BLSTM = "blstm"
+BACKEND_RD = "rd"
+SEGMENTER_BACKENDS = (BACKEND_BLSTM, BACKEND_RD)
+
+
 @dataclass(frozen=True)
 class PipelineSpec:
     """Picklable recipe for building a warm verification pipeline.
@@ -61,13 +69,18 @@ class PipelineSpec:
     Attributes
     ----------
     use_segmenter:
-        Train and use the BRNN phoneme segmenter (the full system);
-        ``False`` serves the no-selection fallback only.
+        Use a phoneme segmenter (the full system); ``False`` serves
+        the no-selection fallback only.
+    segmenter_backend:
+        ``"blstm"`` — the paper's trained BLSTM frame classifier, or
+        ``"rd"`` — the training-free rate-distortion backend.  The RD
+        backend has no trained state: workers spin up instantly, skip
+        the artifact store entirely, and its identity is config-only.
     segmenter_seed:
-        Seed of the segmenter training recipe.
+        Seed of the segmenter training recipe (BLSTM backend only).
     n_speakers / n_per_phoneme / epochs:
         Training-set sizing (scaled down for smokes, paper-sized for
-        real serving).
+        real serving; BLSTM backend only).
     threshold:
         Optional detector threshold; ``None`` reports scores only.
     min_audio_s:
@@ -76,10 +89,12 @@ class PipelineSpec:
     store_dir:
         Artifact-store directory workers consult before training (a
         plain string so the spec stays picklable for process-pool
-        initializers); ``None`` trains in-process as before.
+        initializers); ``None`` trains in-process as before.  Ignored
+        by the RD backend — there is nothing to load.
     """
 
     use_segmenter: bool = True
+    segmenter_backend: str = BACKEND_BLSTM
     segmenter_seed: int = 0
     n_speakers: int = 8
     n_per_phoneme: int = 12
@@ -88,16 +103,34 @@ class PipelineSpec:
     min_audio_s: float = 0.25
     store_dir: Optional[str] = None
 
+    def __post_init__(self) -> None:
+        if self.segmenter_backend not in SEGMENTER_BACKENDS:
+            raise ConfigurationError(
+                f"segmenter_backend must be one of {SEGMENTER_BACKENDS}, "
+                f"got {self.segmenter_backend!r}"
+            )
+
     @property
     def fingerprint(self) -> int:
         """Stable config hash (part of the batch-compatibility key).
 
         ``store_dir`` is deliberately excluded: where the weights come
         from never changes a verdict (store loads are bitwise identical
-        to fresh training), so it must not split batch classes.
+        to fresh training), so it must not split batch classes.  The RD
+        backend fingerprints config-only: the training-recipe fields
+        (seed, corpus sizing, epochs) never touch an RD verdict, so
+        specs differing only there share one batch class.
         """
+        if self.use_segmenter and self.segmenter_backend == BACKEND_RD:
+            return stable_fingerprint(
+                self.use_segmenter,
+                self.segmenter_backend,
+                self.threshold,
+                self.min_audio_s,
+            )
         return stable_fingerprint(
             self.use_segmenter,
+            self.segmenter_backend,
             self.segmenter_seed,
             self.n_speakers,
             self.n_per_phoneme,
@@ -106,16 +139,22 @@ class PipelineSpec:
             self.min_audio_s,
         )
 
-    def build_segmenter(self) -> Optional[PhonemeSegmenter]:
-        """Load-or-train the segmenter for this spec.
+    def build_segmenter(
+        self, audio_rate: float = 16_000.0
+    ) -> Optional[Segmenter]:
+        """Build (RD) or load-or-train (BLSTM) the segmenter.
 
-        With ``store_dir`` set, the artifact store is consulted first:
-        a warm entry loads in milliseconds, a cold one trains exactly
-        once across every concurrently-starting worker (cross-process
-        file lock) and is published for the next service start.
+        With ``store_dir`` set, the BLSTM backend consults the artifact
+        store first: a warm entry loads in milliseconds, a cold one
+        trains exactly once across every concurrently-starting worker
+        (cross-process file lock) and is published for the next service
+        start.  The RD backend constructs in O(1) with zero training
+        runs and never touches the store.
         """
         if not self.use_segmenter:
             return None
+        if self.segmenter_backend == BACKEND_RD:
+            return RateDistortionSegmenter(sample_rate=float(audio_rate))
         return default_segmenter(
             seed=self.segmenter_seed,
             n_speakers=self.n_speakers,
@@ -129,7 +168,7 @@ class PipelineSpec:
     ) -> DefensePipeline:
         """Pipeline for one batch-compatibility class."""
         return DefensePipeline(
-            segmenter=self.build_segmenter(),
+            segmenter=self.build_segmenter(audio_rate=audio_rate),
             config=DefenseConfig(
                 audio_rate=float(audio_rate),
                 detector=DetectorConfig(threshold=self.threshold),

@@ -4,20 +4,41 @@ Latency percentiles (serving metrics, loadgen reports, stage-event
 summaries) and bootstrap interval tails (evaluation statistics) all
 reduce a sample list to a handful of quantiles.  This module is the
 single implementation they share, with the edge cases pinned: an empty
-sample set yields NaNs rather than raising, and a single sample is its
-own value at every quantile.
+sample set yields NaNs rather than raising, a single sample is its own
+value at every quantile, and NaN samples (e.g. a failed request whose
+latency was never measured) are dropped — with a logged count — rather
+than silently poisoning every reported p50/p95/p99.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import logging
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
+logger = logging.getLogger(__name__)
+
 #: Percentiles reported for every latency distribution (p50/p95/p99).
 REPORTED_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def drop_nan_samples(
+    samples: Sequence[float],
+) -> Tuple[np.ndarray, int]:
+    """``(finite-or-inf samples, n_dropped)`` as a flat float64 array.
+
+    Only NaNs are dropped; infinities are real (if degenerate) sample
+    values and are kept for the quantile interpolation to see.
+    """
+    values = np.asarray(samples, dtype=np.float64).ravel()
+    nan_mask = np.isnan(values)
+    n_dropped = int(nan_mask.sum())
+    if n_dropped:
+        values = values[~nan_mask]
+    return values, n_dropped
 
 
 def quantile_values(
@@ -26,15 +47,24 @@ def quantile_values(
     """Quantiles of ``samples`` at ``fractions`` (each in ``[0, 1]``).
 
     Returns one value per requested fraction, computed with NumPy's
-    default linear interpolation.  An empty sample set returns NaNs of
-    the same shape; a single sample is returned for every fraction.
+    default linear interpolation.  NaN samples are dropped first (one
+    NaN must not turn every reported percentile into NaN); the dropped
+    count is logged.  An empty — or all-NaN — sample set returns NaNs
+    of the requested shape; a single sample is returned for every
+    fraction.
     """
     fracs = np.atleast_1d(np.asarray(fractions, dtype=np.float64))
     if fracs.size and (fracs.min() < 0.0 or fracs.max() > 1.0):
         raise ConfigurationError(
             f"quantile fractions must lie in [0, 1], got {fractions!r}"
         )
-    values = np.asarray(samples, dtype=np.float64).ravel()
+    values, n_dropped = drop_nan_samples(samples)
+    if n_dropped:
+        logger.warning(
+            "dropped %d NaN sample(s) of %d before computing quantiles",
+            n_dropped,
+            values.size + n_dropped,
+        )
     if values.size == 0:
         return np.full(fracs.shape, np.nan)
     return np.quantile(values, fracs)

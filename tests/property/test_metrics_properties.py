@@ -44,7 +44,23 @@ def test_eer_bounded(legit, attack):
     assert np.isfinite(threshold)
 
 
-@given(scores, scores, st.floats(min_value=0.1, max_value=5.0))
+# Grid-valued scores/scales for the scaling test: with arbitrary floats,
+# a subnormal score times a scale < 1 underflows to 0.0, creating new
+# ties that legitimately change the AUC.  On a 0.01 grid scaled by a
+# 0.1-grid factor the products stay far from underflow and distinct
+# scores stay distinct, so exact AUC equality is a true invariant.
+grid_scores = arrays(
+    np.float64,
+    st.integers(min_value=2, max_value=40),
+    elements=st.integers(min_value=-100, max_value=100).map(
+        lambda n: n / 100.0
+    ),
+)
+
+grid_scale = st.integers(min_value=1, max_value=50).map(lambda n: n / 10.0)
+
+
+@given(grid_scores, grid_scores, grid_scale)
 @settings(max_examples=40, deadline=None)
 def test_auc_invariant_to_monotone_scaling(legit, attack, scale):
     base = auc_from_scores(legit, attack)

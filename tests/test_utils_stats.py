@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.serve.metrics import LatencySummary
 from repro.utils.stats import (
     REPORTED_PERCENTILES,
+    drop_nan_samples,
     percentile,
     percentile_values,
     quantile_values,
@@ -20,6 +21,38 @@ class TestQuantileValues:
         values = quantile_values([], [0.5, 0.95])
         assert values.shape == (2,)
         assert np.isnan(values).all()
+
+    def test_nan_samples_are_dropped(self, caplog):
+        clean = [0.1, 0.2, 0.3, 0.4, 0.5]
+        poisoned = [0.1, math.nan, 0.2, 0.3, math.nan, 0.4, 0.5]
+        with caplog.at_level("WARNING", logger="repro.utils.stats"):
+            ours = quantile_values(poisoned, [0.5, 0.95, 0.99])
+        theirs = quantile_values(clean, [0.5, 0.95, 0.99])
+        assert (ours == theirs).all()
+        assert not np.isnan(ours).any()
+        assert "dropped 2 NaN sample(s) of 7" in caplog.text
+
+    def test_all_nan_behaves_like_empty(self):
+        values = quantile_values([math.nan, math.nan], [0.5, 0.95])
+        assert values.shape == (2,)
+        assert np.isnan(values).all()
+
+    def test_infinities_are_kept(self):
+        # Only NaNs are dropped; an infinite sample is a real (if
+        # degenerate) value and still shifts the median.
+        kept, dropped = drop_nan_samples([0.1, 0.2, math.inf])
+        assert dropped == 0
+        assert kept.size == 3
+        median = quantile_values([0.1, 0.2, 0.3, math.inf], [0.5])
+        assert median[0] == 0.25
+
+    def test_drop_nan_samples_counts(self):
+        kept, dropped = drop_nan_samples([1.0, math.nan, 2.0])
+        assert dropped == 1
+        assert (kept == np.array([1.0, 2.0])).all()
+        kept, dropped = drop_nan_samples([1.0, 2.0])
+        assert dropped == 0
+        assert kept.size == 2
 
     def test_single_sample_is_every_quantile(self):
         values = quantile_values([3.25], [0.0, 0.5, 0.95, 1.0])
