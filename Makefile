@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
-	perf-smoke runtime-smoke segmenter-smoke bench examples clean
+	perf-smoke runtime-smoke segmenter-smoke fleet-smoke bench \
+	examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -78,6 +79,18 @@ segmenter-smoke:
 		--workers 2 --segmenter paper
 	$(PYTHON) -m repro evaluate replay --commands 1 --attacks 1 \
 		--workers 2 --segmenter rd
+
+# Fleet smoke: a 2-shard fleet serves heavy-tailed Zipf-user traffic
+# end to end.  Both runs exit non-zero if any routed request never
+# reached a terminal outcome (the zero-dropped-on-shutdown
+# assertion); the second drives the real warm verification workers
+# through the front door.
+fleet-smoke:
+	$(PYTHON) -m repro fleet loadgen --engine sim --shards 2 \
+		--requests 120 --users 100000 --rate 400 \
+		--queue-capacity 64 --seed 0
+	$(PYTHON) -m repro fleet serve --engine service --segmenter none \
+		--shards 2 --requests 8 --users 1000 --rate 50 --seed 0
 
 # Perf smoke: the vectorized micro-batch path must beat the
 # sequential loop at batch 8 (exits non-zero otherwise).

@@ -23,6 +23,10 @@ Commands
     Manage the trained-artifact store (``ls``, ``info``, ``gc``,
     ``export``, ``import``, ``verify``).  ``serve`` and ``loadgen``
     read/publish trained segmenters there via ``--store-dir``.
+``fleet``
+    Run the user-sharded serving fleet (``serve``, ``loadgen``):
+    consistent-hash routing over N shards with per-user profiles,
+    SLO-driven shedding, and warm-worker autoscaling.
 """
 
 from __future__ import annotations
@@ -202,10 +206,23 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--rate", type=float, default=20.0, metavar="RPS",
                 help="open-loop arrival rate",
             )
+            serving.add_argument(
+                "--users", type=int, default=0,
+                help=(
+                    "synthetic Zipf-skewed user population "
+                    "(0 = legacy single-user stream)"
+                ),
+            )
+            serving.add_argument(
+                "--zipf-s", type=float, default=1.1, metavar="S",
+                help="Zipf exponent of user activity",
+            )
 
+    from repro.fleet.cli import add_fleet_parser
     from repro.store.cli import add_store_parser
 
     add_store_parser(sub)
+    add_fleet_parser(sub)
     return parser
 
 
@@ -549,6 +566,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             rate_rps=args.rate,
             seed=args.seed,
             deadline_s=args.deadline,
+            users=args.users,
+            zipf_s=args.zipf_s,
         )
     except ConfigurationError as error:
         raise SystemExit(f"error: {error}") from None
@@ -585,6 +604,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return cmd_store(args)
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.cli import cmd_fleet
+
+    return cmd_fleet(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -596,6 +621,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "store": _cmd_store,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

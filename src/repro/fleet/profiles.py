@@ -1,0 +1,279 @@
+"""Per-user serving profiles: calibration + phoneme table per wearer.
+
+Cross-domain verification is inherently per-user (WearID makes the
+same observation): each wearer gets their own operating threshold and
+their own sensitive-phoneme subset.  A :class:`UserProfile` bundles
+both; profiles are derived deterministically from ``(user_id, base
+seed)`` by :func:`derive_user_profile`, persisted through
+:meth:`repro.store.ModelRegistry.user_profile` (reusing the store's
+one-trainer-many-loaders locking so N shards cold-starting on one user
+compute the profile exactly once), and held in an in-shard
+:class:`ProfileCache` LRU so the hot Zipf head never touches the store
+twice.
+
+The per-user phoneme subset doubles as a hardening measure: an
+attacker who learns *the paper's* 31-phoneme table still does not know
+which subset a given victim's defense correlates on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.phonemes.inventory import PAPER_SELECTED_PHONEMES
+from repro.utils.rng import derive_seed
+
+#: Default operating threshold the per-user offset perturbs.  Matches
+#: the EER neighborhood the campaign calibration lands in on the
+#: synthetic corpus.
+DEFAULT_BASE_THRESHOLD = 0.25
+
+#: Half-width of the deterministic per-user threshold perturbation.
+DEFAULT_THRESHOLD_JITTER = 0.05
+
+#: Sensitive phonemes kept per user (out of the paper's 31).
+DEFAULT_PHONEMES_PER_USER = 24
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One wearer's serving profile.
+
+    Attributes
+    ----------
+    user_id:
+        The wearer this profile belongs to.
+    threshold:
+        Personal correlation threshold (scores below ⇒ attack), or
+        ``None`` for score-only serving.
+    phonemes:
+        The user's sensitive-phoneme subset, sorted.
+    seed:
+        Base seed the profile was derived from (provenance).
+    """
+
+    user_id: str
+    threshold: Optional[float]
+    phonemes: Tuple[str, ...]
+    seed: int
+
+    def __post_init__(self) -> None:
+        if (
+            self.threshold is not None
+            and not -1.0 <= self.threshold <= 1.0
+        ):
+            raise ConfigurationError(
+                f"threshold must lie in [-1, 1], got {self.threshold}"
+            )
+
+    def decide(self, score: float) -> Optional[bool]:
+        """Personal verdict for a correlation ``score``.
+
+        ``None`` when the profile carries no threshold (score-only).
+        """
+        if self.threshold is None:
+            return None
+        return bool(score < self.threshold)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (exact: floats round-trip via repr)."""
+        return {
+            "user_id": self.user_id,
+            "threshold": self.threshold,
+            "phonemes": list(self.phonemes),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "UserProfile":
+        """Inverse of :meth:`to_dict` (artifact-store load path)."""
+        try:
+            threshold = payload["threshold"]
+            return cls(
+                user_id=str(payload["user_id"]),
+                threshold=(
+                    None if threshold is None else float(threshold)
+                ),
+                phonemes=tuple(
+                    str(symbol) for symbol in payload["phonemes"]
+                ),
+                seed=int(payload["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"malformed user-profile payload: {error}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ProfileRecipe:
+    """Deterministic derivation recipe shared by every shard.
+
+    Part of the profile artifact's store identity: two fleets with the
+    same recipe and base seed read each other's published profiles;
+    changing any knob re-derives from scratch.
+    """
+
+    seed: int = 0
+    base_threshold: Optional[float] = DEFAULT_BASE_THRESHOLD
+    threshold_jitter: float = DEFAULT_THRESHOLD_JITTER
+    phonemes_per_user: int = DEFAULT_PHONEMES_PER_USER
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.phonemes_per_user <= len(
+            PAPER_SELECTED_PHONEMES
+        ):
+            raise ConfigurationError(
+                f"phonemes_per_user must lie in "
+                f"[1, {len(PAPER_SELECTED_PHONEMES)}], "
+                f"got {self.phonemes_per_user}"
+            )
+        if self.threshold_jitter < 0:
+            raise ConfigurationError(
+                f"threshold_jitter must be >= 0, "
+                f"got {self.threshold_jitter}"
+            )
+
+    def to_recipe_dict(self) -> Dict[str, object]:
+        """The registry-fingerprint view of this recipe."""
+        return {
+            "seed": int(self.seed),
+            "base_threshold": self.base_threshold,
+            "threshold_jitter": float(self.threshold_jitter),
+            "phonemes_per_user": int(self.phonemes_per_user),
+        }
+
+
+def derive_user_profile(
+    user_id: str, recipe: Optional[ProfileRecipe] = None
+) -> UserProfile:
+    """Pure per-user profile derivation.
+
+    The threshold is the recipe's base plus a deterministic
+    ``[-jitter, +jitter]`` offset, and the phoneme table is a
+    deterministic subset of the paper's 31 selected phonemes — both
+    keyed by ``(recipe.seed, user_id)`` only, so any shard (or any
+    process) derives bitwise the same profile.
+    """
+    recipe = recipe or ProfileRecipe()
+    rng = np.random.default_rng(
+        derive_seed(recipe.seed, "user-profile", user_id)
+    )
+    if recipe.base_threshold is None:
+        threshold = None
+    else:
+        offset = (2.0 * rng.random() - 1.0) * recipe.threshold_jitter
+        threshold = float(
+            np.clip(recipe.base_threshold + offset, -1.0, 1.0)
+        )
+    inventory = sorted(PAPER_SELECTED_PHONEMES)
+    chosen = rng.choice(
+        len(inventory), size=recipe.phonemes_per_user, replace=False
+    )
+    phonemes = tuple(sorted(inventory[index] for index in chosen))
+    return UserProfile(
+        user_id=str(user_id),
+        threshold=threshold,
+        phonemes=phonemes,
+        seed=int(recipe.seed),
+    )
+
+
+class ProfileCache:
+    """Thread-safe in-shard LRU over user profiles.
+
+    Parameters
+    ----------
+    capacity:
+        Profiles kept (>= 1).  The Zipf head fits in a small cache:
+        with s = 1.1 the hottest ~1% of users carry most traffic.
+    loader:
+        ``user_id -> UserProfile``.  Defaults to the pure
+        :func:`derive_user_profile`; shards with a store configured
+        pass a :class:`repro.store.ModelRegistry`-backed loader so
+        profiles are computed once fleet-wide and shared on disk.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        loader: Optional[Callable[[str], UserProfile]] = None,
+        recipe: Optional[ProfileRecipe] = None,
+    ) -> None:
+        if int(capacity) < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self.recipe = recipe or ProfileRecipe()
+        self._loader = loader or (
+            lambda user_id: derive_user_profile(user_id, self.recipe)
+        )
+        self._entries: "OrderedDict[str, UserProfile]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.n_hits = 0
+        self.n_misses = 0
+        self.n_evicted = 0
+
+    def get(self, user_id: str) -> UserProfile:
+        """The user's profile, loading (and possibly evicting) on miss."""
+        with self._lock:
+            profile = self._entries.get(user_id)
+            if profile is not None:
+                self.n_hits += 1
+                self._entries.move_to_end(user_id)
+                return profile
+            self.n_misses += 1
+        # Load outside the lock: a store round-trip (or derivation)
+        # must not serialize every other user's cache hit.
+        profile = self._loader(user_id)
+        with self._lock:
+            self._entries[user_id] = profile
+            self._entries.move_to_end(user_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.n_evicted += 1
+        return profile
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self.n_hits,
+                "misses": self.n_misses,
+                "evicted": self.n_evicted,
+                "size": len(self._entries),
+            }
+
+
+def registry_profile_loader(
+    registry, recipe: Optional[ProfileRecipe] = None
+) -> Callable[[str], UserProfile]:
+    """Store-backed loader for :class:`ProfileCache`.
+
+    Wraps :meth:`repro.store.ModelRegistry.user_profile`: the first
+    shard to need a user's profile derives and publishes it under the
+    entry's cross-process lock; every other shard (and every later
+    fleet start) loads the published bytes.
+    """
+    recipe = recipe or ProfileRecipe()
+
+    def load(user_id: str) -> UserProfile:
+        document, _ = registry.user_profile(
+            user_id,
+            recipe.to_recipe_dict(),
+            lambda: derive_user_profile(user_id, recipe).to_dict(),
+        )
+        return UserProfile.from_dict(document)
+
+    return load

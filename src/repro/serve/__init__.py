@@ -17,6 +17,7 @@ from repro.serve.loadgen import (
     LoadgenConfig,
     LoadgenReport,
     RecordingPool,
+    UserActivityModel,
     build_recording_pool,
     run_loadgen,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "RequestStatus",
     "ServiceConfig",
     "ServiceMetrics",
+    "UserActivityModel",
     "VerificationRequest",
     "VerificationResponse",
     "VerificationService",

@@ -197,6 +197,11 @@ class VerificationService:
         self._stop_event = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._started = False
+        # Serializes start/stop/resize so concurrent lifecycle calls
+        # (e.g. a fleet front door stopping a shard while its
+        # autoscaler resizes it, or two callers double-stopping) are
+        # idempotent instead of racing on _thread/_pool teardown.
+        self._lifecycle_lock = threading.Lock()
         #: Wall-clock seconds :meth:`start` spent warming the worker
         #: pool (training or store-loading segmenters); ``None`` until
         #: the first start.  The cold-start benchmark reads this to
@@ -209,33 +214,87 @@ class VerificationService:
 
     def start(self) -> None:
         """Warm the worker pool and start the batching scheduler."""
-        if self._started:
-            return
-        warmup_start = time.monotonic()
-        self._pool.start()
-        self.warmup_s = time.monotonic() - warmup_start
-        self._thread = threading.Thread(
-            target=self._scheduler_loop,
-            name="verify-scheduler",
-            daemon=True,
-        )
-        self._thread.start()
-        self._started = True
+        with self._lifecycle_lock:
+            if self._started:
+                return
+            warmup_start = time.monotonic()
+            self._pool.start()
+            self.warmup_s = time.monotonic() - warmup_start
+            self._thread = threading.Thread(
+                target=self._scheduler_loop,
+                name="verify-scheduler",
+                daemon=True,
+            )
+            self._thread.start()
+            self._started = True
 
     def stop(self) -> None:
-        """Drain queued work, wait for in-flight batches, shut down."""
-        if not self._started:
-            return
-        self._stop_event.set()
-        self._queue.close()
-        if self._thread is not None:
-            self._thread.join()
-            self._thread = None
-        with self._inflight_drained:
-            while self._inflight:
-                self._inflight_drained.wait()
-        self._pool.shutdown(wait=True)
-        self._started = False
+        """Drain queued work, wait for in-flight batches, shut down.
+
+        Idempotent and safe to call concurrently: every caller returns
+        only after the drain completed (the first caller performs it,
+        the rest wait on the lifecycle lock), and a stop racing the
+        draining scheduler loop can no longer observe a half-torn-down
+        ``_thread``/``_pool`` pair.
+        """
+        with self._lifecycle_lock:
+            if not self._started:
+                return
+            self._stop_event.set()
+            self._queue.close()
+            if self._thread is not None:
+                self._thread.join()
+                self._thread = None
+            with self._inflight_drained:
+                while self._inflight:
+                    self._inflight_drained.wait()
+            self._pool.shutdown(wait=True)
+            self._started = False
+
+    def resize_workers(self, n_workers: int) -> None:
+        """Swap in a pool of ``n_workers`` without dropping requests.
+
+        The replacement pool is warmed and started *before* the swap,
+        so new batches dispatch to it immediately; the old pool drains
+        its in-flight batches on a background thread (their futures —
+        and therefore their requests' responses — still resolve).  The
+        fleet tier's shard autoscaler calls this to track load.
+
+        No-op when ``n_workers`` equals the current pool size.  Raises
+        :class:`ConfigurationError` when the service is not running or
+        ``n_workers < 1``.
+        """
+        if int(n_workers) < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        n_workers = int(n_workers)
+        with self._lifecycle_lock:
+            if not self._started:
+                raise ConfigurationError(
+                    "service not started; resize_workers needs a "
+                    "running service"
+                )
+            if n_workers == self._pool.n_workers:
+                return
+            new_pool = WarmWorkerPool(
+                self.spec,
+                n_workers=n_workers,
+                mode=self.config.worker_mode,
+            )
+            new_pool.start()
+            old_pool, self._pool = self._pool, new_pool
+            self.config.n_workers = n_workers
+        threading.Thread(
+            target=lambda: old_pool.shutdown(wait=True),
+            name="verify-pool-retire",
+            daemon=True,
+        ).start()
+
+    @property
+    def n_workers(self) -> int:
+        """Current worker-pool size (tracks :meth:`resize_workers`)."""
+        return self._pool.n_workers
 
     @property
     def realized_worker_mode(self) -> Optional[str]:
@@ -369,9 +428,15 @@ class VerificationService:
         self.metrics_collector.record_batch(len(entries))
         try:
             pool_future = self._pool.submit(payload, ages)
-        except Exception as error:  # pool died — fail the batch
-            self._fail_batch(entries, error)
-            return
+        except Exception:
+            # The pool may have been swapped by resize_workers between
+            # the read and the submit; one retry lands on the current
+            # pool.  A second failure means the pool really died.
+            try:
+                pool_future = self._pool.submit(payload, ages)
+            except Exception as error:
+                self._fail_batch(entries, error)
+                return
         with self._inflight_lock:
             self._inflight.add(pool_future)
         pool_future.add_done_callback(

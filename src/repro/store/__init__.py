@@ -25,6 +25,7 @@ from repro.store.registry import (
     KIND_CALIBRATION,
     KIND_PHONEME_TABLE,
     KIND_SEGMENTER,
+    KIND_USER_PROFILE,
     ModelRegistry,
     registry_counters,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "KIND_CALIBRATION",
     "KIND_PHONEME_TABLE",
     "KIND_SEGMENTER",
+    "KIND_USER_PROFILE",
     "ModelRegistry",
     "SCHEMA_VERSION",
     "artifact_fingerprint",

@@ -94,6 +94,27 @@ def decode_phoneme_table(payload: bytes) -> PhonemeSelectionResult:
         ) from None
 
 
+def encode_json_document(document: dict) -> bytes:
+    """JSON-object artifact → canonical bytes (sorted keys).
+
+    The generic codec behind per-user fleet profiles: the store deals
+    in opaque bytes, the fleet layer deals in
+    :class:`repro.fleet.profiles.UserProfile` dicts, and this boundary
+    keeps ``repro.store`` free of an upward import.
+    """
+    if not isinstance(document, dict):
+        raise StoreError(
+            f"JSON artifact must be a dict, got {type(document).__name__}"
+        )
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def decode_json_document(payload: bytes) -> dict:
+    """Canonical JSON bytes → dict (inverse of
+    :func:`encode_json_document`)."""
+    return _load_json(payload, "JSON document")
+
+
 def _load_json(payload: bytes, what: str) -> dict:
     try:
         decoded = json.loads(payload.decode("utf-8"))

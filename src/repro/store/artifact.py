@@ -310,12 +310,17 @@ class ArtifactStore:
         self,
         max_bytes: Optional[int] = None,
         max_entries: Optional[int] = None,
+        dry_run: bool = False,
     ) -> List[ArtifactInfo]:
         """Evict least-recently-used entries beyond the given bounds.
 
         Both bounds may be given; eviction continues until the store
         satisfies every one.  Returns the evicted entries' metadata
-        (oldest first).
+        (oldest first).  With ``dry_run`` nothing is deleted — the
+        returned list is what a real run *would* evict, which the CLI
+        sums into per-kind reclaimable bytes (per-user fleet profiles
+        multiply entry counts, so sizing a bound before evicting
+        matters).
         """
         if max_bytes is None and max_entries is None:
             return []
@@ -335,7 +340,7 @@ class ArtifactStore:
             or (max_entries is not None and len(survivors) > max_entries)
         ):
             victim = survivors.pop(0)
-            if self.delete(victim.key):
+            if dry_run or self.delete(victim.key):
                 evicted.append(victim)
             total -= victim.n_bytes
         return evicted

@@ -52,6 +52,13 @@ def add_store_parser(subparsers) -> None:
         "--max-entries", type=int, default=None,
         help="entry count to keep",
     )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help=(
+            "delete nothing; report what would be evicted and the "
+            "reclaimable bytes per artifact kind"
+        ),
+    )
 
     export = actions.add_parser(
         "export", help="pack artifacts into a portable tar.gz",
@@ -159,12 +166,30 @@ def _cmd_gc(store: ArtifactStore, args: argparse.Namespace) -> int:
         raise SystemExit(
             "error: gc needs --max-bytes and/or --max-entries"
         )
+    dry_run = bool(getattr(args, "dry_run", False))
     evicted = store.gc(
-        max_bytes=args.max_bytes, max_entries=args.max_entries
+        max_bytes=args.max_bytes,
+        max_entries=args.max_entries,
+        dry_run=dry_run,
     )
+    verb = "would evict" if dry_run else "evicted"
+    per_kind: dict = {}
     for info in evicted:
-        print(f"evicted {_format_entry(info)}")
-    print(f"evicted {len(evicted)} artifact(s)")
+        print(f"{verb} {_format_entry(info)}")
+        count, total = per_kind.get(info.key.kind, (0, 0))
+        per_kind[info.key.kind] = (count + 1, total + info.n_bytes)
+    for kind in sorted(per_kind):
+        count, total = per_kind[kind]
+        noun = "entry" if count == 1 else "entries"
+        print(
+            f"{verb} {kind:20} {count:>6} {noun}, "
+            f"{total} reclaimable bytes"
+        )
+    total_bytes = sum(info.n_bytes for info in evicted)
+    print(
+        f"{verb} {len(evicted)} artifact(s), "
+        f"{total_bytes} reclaimable bytes"
+    )
     return 0
 
 

@@ -49,6 +49,7 @@ logger = logging.getLogger(__name__)
 KIND_SEGMENTER = "segmenter"
 KIND_CALIBRATION = "calibration"
 KIND_PHONEME_TABLE = "phoneme-table"
+KIND_USER_PROFILE = "user-profile"
 
 # Process-wide load/train accounting, reported by the serving CLI and
 # asserted by ``make store-smoke`` ("second run trains zero models").
@@ -215,6 +216,49 @@ class ModelRegistry:
             key, payload, created, produce, adapters.decode_phoneme_table
         )
         return table, created
+
+    # ------------------------------------------------------------------
+    # Per-user profiles (fleet serving tier)
+    # ------------------------------------------------------------------
+
+    def user_profile(
+        self,
+        user_id: str,
+        recipe: Mapping[str, object],
+        producer: Callable[[], Dict[str, object]],
+    ) -> Tuple[Dict[str, object], bool]:
+        """Load-or-compute one user's serving profile as a JSON dict.
+
+        The artifact's identity is ``(user_id, recipe)`` — the recipe
+        must deterministically describe how the profile is derived
+        (base seed, calibration strategy, phoneme-subset size, ...), so
+        N shards cold-starting on the same user run ``producer``
+        exactly once between them (the store's one-trainer-many-loaders
+        lock) and every later load is byte-identical.  The fleet layer
+        wraps the returned dict in
+        :class:`repro.fleet.profiles.UserProfile`; the registry stays
+        schema-agnostic so ``repro.store`` never imports upward.
+        """
+        key = ArtifactKey(
+            KIND_USER_PROFILE,
+            artifact_fingerprint(
+                KIND_USER_PROFILE,
+                schema_version=self.store.schema_version,
+                user_id=str(user_id),
+                **dict(recipe),
+            ),
+        )
+
+        def produce() -> bytes:
+            return adapters.encode_json_document(producer())
+
+        payload, created = self._get_or_create(
+            key, produce, meta={"user_id": str(user_id), **dict(recipe)}
+        )
+        document = self._decode(
+            key, payload, created, produce, adapters.decode_json_document
+        )
+        return document, created
 
     # ------------------------------------------------------------------
     # Internals

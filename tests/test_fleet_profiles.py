@@ -1,0 +1,169 @@
+"""Per-user profiles: derivation determinism, LRU cache, store path."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.profiles import (
+    ProfileCache,
+    ProfileRecipe,
+    UserProfile,
+    derive_user_profile,
+    registry_profile_loader,
+)
+from repro.phonemes.inventory import PAPER_SELECTED_PHONEMES
+from repro.store import ModelRegistry
+
+
+class TestDerivation:
+    def test_deterministic_per_user(self):
+        a = derive_user_profile("user-7")
+        b = derive_user_profile("user-7")
+        assert a == b
+
+    def test_distinct_users_distinct_profiles(self):
+        profiles = [
+            derive_user_profile(f"user-{i}") for i in range(50)
+        ]
+        assert len({p.threshold for p in profiles}) > 40
+        assert len({p.phonemes for p in profiles}) > 40
+
+    def test_threshold_within_jitter_band(self):
+        recipe = ProfileRecipe(
+            base_threshold=0.3, threshold_jitter=0.05
+        )
+        for i in range(30):
+            profile = derive_user_profile(f"user-{i}", recipe)
+            assert 0.25 <= profile.threshold <= 0.35
+
+    def test_phonemes_subset_of_paper_set(self):
+        profile = derive_user_profile("user-3")
+        assert len(profile.phonemes) == 24
+        assert set(profile.phonemes) <= set(PAPER_SELECTED_PHONEMES)
+        assert list(profile.phonemes) == sorted(profile.phonemes)
+
+    def test_seed_changes_profiles(self):
+        a = derive_user_profile("user-1", ProfileRecipe(seed=0))
+        b = derive_user_profile("user-1", ProfileRecipe(seed=1))
+        assert a != b
+
+    def test_thresholdless_recipe(self):
+        recipe = ProfileRecipe(base_threshold=None)
+        profile = derive_user_profile("user-1", recipe)
+        assert profile.threshold is None
+        assert profile.decide(0.5) is None
+
+    def test_decide_uses_personal_threshold(self):
+        profile = UserProfile(
+            user_id="u", threshold=0.2, phonemes=("aa",), seed=0
+        )
+        assert profile.decide(0.1) is True
+        assert profile.decide(0.3) is False
+
+    def test_dict_roundtrip(self):
+        profile = derive_user_profile("user-9")
+        assert UserProfile.from_dict(profile.to_dict()) == profile
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserProfile.from_dict({"user_id": "u"})
+
+    def test_invalid_recipes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProfileRecipe(phonemes_per_user=0)
+        with pytest.raises(ConfigurationError):
+            ProfileRecipe(threshold_jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            UserProfile(
+                user_id="u", threshold=2.0, phonemes=(), seed=0
+            )
+
+
+class TestCache:
+    def test_hit_miss_accounting(self):
+        cache = ProfileCache(capacity=8)
+        cache.get("user-1")
+        cache.get("user-1")
+        cache.get("user-2")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["size"] == 2
+
+    def test_lru_evicts_coldest(self):
+        cache = ProfileCache(capacity=2)
+        cache.get("a")
+        cache.get("b")
+        cache.get("a")  # refresh a; b is now coldest
+        cache.get("c")  # evicts b
+        assert cache.stats()["evicted"] == 1
+        loads = []
+        cache._loader, original = (
+            lambda user_id: loads.append(user_id)
+            or derive_user_profile(user_id),
+            cache._loader,
+        )
+        cache.get("a")
+        cache.get("b")
+        assert loads == ["b"]
+
+    def test_thread_safety_under_contention(self):
+        cache = ProfileCache(capacity=16)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    profile = cache.get(f"user-{i % 32}")
+                    assert profile.user_id == f"user-{i % 32}"
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 16
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ProfileCache(capacity=0)
+
+
+class TestRegistryPath:
+    def test_profiles_persist_and_reload(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        loader = registry_profile_loader(registry)
+        first = loader("user-5")
+        assert first == derive_user_profile("user-5")
+        # A second loader (another shard / process) reads the
+        # published artifact rather than re-deriving.
+        calls = []
+        recipe = ProfileRecipe()
+
+        def counting_producer():
+            calls.append(1)
+            return derive_user_profile("user-5", recipe).to_dict()
+
+        document, created = ModelRegistry(str(tmp_path)).user_profile(
+            "user-5", recipe.to_recipe_dict(), counting_producer
+        )
+        assert not created
+        assert not calls
+        assert UserProfile.from_dict(document) == first
+
+    def test_recipe_is_part_of_identity(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        a = registry_profile_loader(
+            registry, ProfileRecipe(seed=0)
+        )("user-1")
+        b = registry_profile_loader(
+            registry, ProfileRecipe(seed=1)
+        )("user-1")
+        assert a != b

@@ -251,6 +251,60 @@ class TestGc:
         with pytest.raises(StoreError):
             store.gc(max_entries=-1)
 
+    def test_dry_run_reports_without_deleting(self, store):
+        oldest = put_entry(store, fingerprint="oldest")
+        newest = put_entry(store, fingerprint="newest")
+        self.age(store, oldest, 200)
+        self.age(store, newest, 100)
+        planned = store.gc(max_entries=1, dry_run=True)
+        assert [info.key for info in planned] == [oldest]
+        # Nothing was actually removed.
+        assert store.contains(oldest) and store.contains(newest)
+
+    def test_dry_run_matches_real_eviction(self, store):
+        keys = [
+            put_entry(store, fingerprint=f"f{i}", payload=b"x" * 50)
+            for i in range(4)
+        ]
+        for index, key in enumerate(keys):
+            self.age(store, key, 400 - index * 100)
+        planned = store.gc(max_bytes=120, dry_run=True)
+        evicted = store.gc(max_bytes=120)
+        assert [info.key for info in planned] == [
+            info.key for info in evicted
+        ]
+
+    def test_cli_dry_run_prints_reclaimable_bytes_per_kind(
+        self, store, capsys
+    ):
+        from repro.cli import main
+
+        first = put_entry(
+            store, kind="weights", fingerprint="w1", payload=b"x" * 80
+        )
+        put_entry(
+            store, kind="selection", fingerprint="s1", payload=b"y" * 30
+        )
+        self.age(store, first, 300)
+        self.age(store, ArtifactKey("selection", "s1"), 200)
+        exit_code = main(
+            [
+                "store", "gc",
+                "--dir", str(store.root),
+                "--max-entries", "0",
+                "--dry-run",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "would evict" in out
+        assert "evicted " not in out.replace("would evict", "")
+        assert "weights" in out and "80 reclaimable bytes" in out
+        assert "selection" in out and "30 reclaimable bytes" in out
+        assert "2 artifact(s), 110 reclaimable bytes" in out
+        # Dry run deleted nothing.
+        assert len(store.entries()) == 2
+
 
 class TestExportImport:
     def test_round_trip(self, store, tmp_path):
