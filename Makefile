@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
-	perf-smoke runtime-smoke segmenter-smoke fleet-smoke bench \
-	examples clean
+	perf-smoke runtime-smoke segmenter-smoke fleet-smoke \
+	redteam-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -91,6 +91,23 @@ fleet-smoke:
 		--queue-capacity 64 --seed 0
 	$(PYTHON) -m repro fleet serve --engine service --segmenter none \
 		--shards 2 --requests 8 --users 1000 --rate 50 --seed 0
+
+# Red-team smoke: unit tests pin the attack space, oracle budget
+# accounting, and optimizer checkpointing; then two tiny campaigns
+# (~2 generations each) exercise the gradient-free and
+# surrogate-gradient attackers end to end against the black-box
+# oracle, with the second deploying the randomized defenses.
+redteam-smoke:
+	$(PYTHON) -m pytest tests/test_redteam_space.py \
+		tests/test_redteam_oracle.py tests/test_redteam_optimizers.py \
+		tests/test_core_hardening.py -q
+	$(PYTHON) -m repro redteam attack --mode cmaes --budget 10 \
+		--population 1 --bands 4 --slices 2 --probe-episodes 1 \
+		--eval-episodes 4 --workers 1 --executor inline --seed 3
+	$(PYTHON) -m repro redteam attack --mode surrogate --budget 14 \
+		--population 1 --bands 4 --slices 2 --probe-episodes 1 \
+		--eval-episodes 4 --workers 1 --executor inline --seed 3 \
+		--harden
 
 # Perf smoke: the vectorized micro-batch path must beat the
 # sequential loop at batch 8 (exits non-zero otherwise).

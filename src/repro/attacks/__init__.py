@@ -6,7 +6,12 @@ loudspeaker behind the barrier: random (another speaker's voice), replay
 voice (obfuscated wideband commands).
 """
 
-from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.base import (
+    AttackKind,
+    AttackSound,
+    IndexedAttackMixin,
+    attack_stream,
+)
 from repro.attacks.random_attack import RandomAttack
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.synthesis import VoiceSynthesisAttack
@@ -16,6 +21,8 @@ from repro.attacks.scenario import AttackScenario, ThruBarrierChannel
 __all__ = [
     "AttackKind",
     "AttackSound",
+    "IndexedAttackMixin",
+    "attack_stream",
     "RandomAttack",
     "ReplayAttack",
     "VoiceSynthesisAttack",

@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.base import AttackKind, AttackSound, IndexedAttackMixin
 from repro.dsp.filters import butter_lowpass
 from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
@@ -23,7 +23,7 @@ from repro.phonemes.speaker import SpeakerProfile
 from repro.utils.rng import SeedLike, as_generator, child_rng
 
 
-class HiddenVoiceAttack:
+class HiddenVoiceAttack(IndexedAttackMixin):
     """Generates noise-like obfuscated voice commands."""
 
     kind = AttackKind.HIDDEN_VOICE

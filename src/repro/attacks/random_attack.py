@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.base import AttackKind, AttackSound, IndexedAttackMixin
 from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus
@@ -17,7 +17,7 @@ from repro.phonemes.speaker import SpeakerProfile
 from repro.utils.rng import SeedLike, as_generator, child_seed
 
 
-class RandomAttack:
+class RandomAttack(IndexedAttackMixin):
     """Generates attack commands in an adversary's own voice."""
 
     kind = AttackKind.RANDOM

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.acoustics.microphone import Microphone, MicrophoneSpec, PHONE_MIC
-from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.base import AttackKind, AttackSound, IndexedAttackMixin
 from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus
@@ -20,7 +20,7 @@ from repro.phonemes.speaker import SpeakerProfile
 from repro.utils.rng import SeedLike, as_generator, child_rng, child_seed
 
 
-class ReplayAttack:
+class ReplayAttack(IndexedAttackMixin):
     """Replays the victim's recorded voice commands."""
 
     kind = AttackKind.REPLAY

@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.base import AttackKind, AttackSound
+from repro.attacks.base import AttackKind, AttackSound, IndexedAttackMixin
 from repro.errors import ConfigurationError
 from repro.phonemes.commands import VA_COMMANDS, phonemize
 from repro.phonemes.corpus import SyntheticCorpus, Utterance
@@ -62,7 +62,7 @@ def estimate_speaker(
     )
 
 
-class VoiceSynthesisAttack:
+class VoiceSynthesisAttack(IndexedAttackMixin):
     """Synthesizes commands in an (estimated) victim voice."""
 
     kind = AttackKind.SYNTHESIS

@@ -27,6 +27,10 @@ Commands
     Run the user-sharded serving fleet (``serve``, ``loadgen``):
     consistent-hash routing over N shards with per-user profiles,
     SLO-driven shedding, and warm-worker autoscaling.
+``redteam``
+    Run adaptive-adversary campaigns (``attack``, ``curve``,
+    ``report``): budgeted optimizing attackers vs the deployed
+    detector, hardened and unhardened.
 """
 
 from __future__ import annotations
@@ -184,6 +188,27 @@ def _build_parser() -> argparse.ArgumentParser:
                 "train in-process"
             ),
         )
+        serving.add_argument(
+            "--threshold", type=float, default=None,
+            help=(
+                "detector decision threshold (default: score-only "
+                "verdicts; required for --threshold-jitter)"
+            ),
+        )
+        serving.add_argument(
+            "--threshold-jitter", type=float, default=0.0, metavar="J",
+            help=(
+                "randomized defense: per-session threshold jitter "
+                "(+-J around --threshold; 0 = deterministic detector)"
+            ),
+        )
+        serving.add_argument(
+            "--subset-fraction", type=float, default=1.0, metavar="F",
+            help=(
+                "randomized defense: per-session sensitive-phoneme "
+                "fraction (1.0 = full paper set)"
+            ),
+        )
         if name == "serve":
             serving.add_argument(
                 "--requests", type=int, default=6,
@@ -219,10 +244,12 @@ def _build_parser() -> argparse.ArgumentParser:
             )
 
     from repro.fleet.cli import add_fleet_parser
+    from repro.redteam.cli import add_redteam_parser
     from repro.store.cli import add_store_parser
 
     add_store_parser(sub)
     add_fleet_parser(sub)
+    add_redteam_parser(sub)
     return parser
 
 
@@ -467,22 +494,41 @@ def _resolve_pipeline_spec(args: argparse.Namespace):
     from repro.serve import PipelineSpec
     from repro.store.cli import resolve_store_dir
 
+    from repro.errors import ConfigurationError
+
     store_dir = None
     if not args.no_store:
         store_dir = resolve_store_dir(args.store_dir)
-    if args.segmenter == "none":
-        return PipelineSpec(use_segmenter=False)
-    if args.segmenter == "rd":
-        return PipelineSpec(segmenter_backend="rd")
-    if args.segmenter == "fast":
+    hardening_kwargs = dict(
+        threshold=args.threshold,
+        threshold_jitter=args.threshold_jitter,
+        subset_fraction=args.subset_fraction,
+    )
+    try:
+        if args.segmenter == "none":
+            return PipelineSpec(
+                use_segmenter=False, **hardening_kwargs
+            )
+        if args.segmenter == "rd":
+            return PipelineSpec(
+                segmenter_backend="rd", **hardening_kwargs
+            )
+        if args.segmenter == "fast":
+            return PipelineSpec(
+                segmenter_seed=args.seed,
+                n_speakers=2,
+                n_per_phoneme=3,
+                epochs=3,
+                store_dir=store_dir,
+                **hardening_kwargs,
+            )
         return PipelineSpec(
             segmenter_seed=args.seed,
-            n_speakers=2,
-            n_per_phoneme=3,
-            epochs=3,
             store_dir=store_dir,
+            **hardening_kwargs,
         )
-    return PipelineSpec(segmenter_seed=args.seed, store_dir=store_dir)
+    except ConfigurationError as error:
+        raise SystemExit(f"error: {error}") from None
 
 
 def _print_store_report(spec, service) -> None:
@@ -610,6 +656,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return cmd_fleet(args)
 
 
+def _cmd_redteam(args: argparse.Namespace) -> int:
+    from repro.redteam.cli import cmd_redteam
+
+    return cmd_redteam(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -622,6 +674,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "store": _cmd_store,
         "fleet": _cmd_fleet,
+        "redteam": _cmd_redteam,
     }
     return handlers[args.command](args)
 

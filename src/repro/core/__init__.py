@@ -20,6 +20,7 @@ from repro.core.detector import (
     CorrelationDetector,
     DetectorConfig,
 )
+from repro.core.hardening import HardeningConfig, sample_subset
 from repro.core.sync import SyncConfig, synchronize_recordings
 from repro.core.segmenter import (
     PersistentSegmenter,
@@ -66,6 +67,8 @@ __all__ = [
     "VibrationFeatureExtractor",
     "CorrelationDetector",
     "DetectorConfig",
+    "HardeningConfig",
+    "sample_subset",
     "SyncConfig",
     "synchronize_recordings",
     "PersistentSegmenter",

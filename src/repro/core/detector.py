@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.dsp.correlate import correlation_2d
 from repro.errors import ConfigurationError
+from repro.utils.rng import SeedLike, as_generator
 
 
 @dataclass
@@ -84,3 +85,40 @@ class CorrelationDetector:
     def with_threshold(self, threshold: float) -> "CorrelationDetector":
         """A copy of this detector with ``threshold`` set."""
         return CorrelationDetector(DetectorConfig(threshold=threshold))
+
+    def with_randomized_threshold(
+        self, rng: SeedLike, jitter: float
+    ) -> "CorrelationDetector":
+        """A copy deciding at ``threshold + U(-jitter, +jitter)``.
+
+        The randomized sibling of :meth:`with_threshold`, used by the
+        hardened pipeline (:class:`repro.core.HardeningConfig`) to
+        perturb the operating point per session: attacks optimized to
+        sit just above the calibrated threshold are caught on the
+        sessions whose draw lands above their score, while legitimate
+        commands (and static attacks far below threshold) are decided
+        as before on average.
+
+        Raises :class:`ConfigurationError` when no base threshold is
+        configured, when ``jitter`` is negative, or when the jitter
+        band ``threshold ± jitter`` leaves the detector's ``[-1, 1]``
+        score bounds — a misconfiguration that would otherwise be
+        masked by clipping only the unlucky draws.
+        """
+        base = self.config.threshold
+        if base is None:
+            raise ConfigurationError(
+                "with_randomized_threshold requires a calibrated base "
+                "threshold; set DetectorConfig.threshold first"
+            )
+        if jitter < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {jitter}"
+            )
+        if base - jitter < -1.0 or base + jitter > 1.0:
+            raise ConfigurationError(
+                f"threshold {base} ± jitter {jitter} leaves the "
+                f"detector's [-1, 1] score bounds"
+            )
+        draw = float(as_generator(rng).uniform(-jitter, jitter))
+        return self.with_threshold(base + draw)

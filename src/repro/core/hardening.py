@@ -1,0 +1,134 @@
+"""Detector hardening against adaptive (optimizing) attackers.
+
+The paper's detector is deterministic: a fixed threshold on the 2-D
+correlation score over a fixed sensitive-phoneme set.  An attacker who
+can query the deployed system (`repro.redteam`) will happily exploit
+that determinism — shaping its waveform until the score sits just above
+the threshold, then replaying the shaped attack forever.  This module
+adds the two randomized counter-measures evaluated by the red-team
+suite:
+
+* **Threshold randomization** — each session decides against
+  ``threshold + U(-jitter, +jitter)`` instead of the fixed calibration
+  point.  A static attack far below the threshold stays detected; an
+  optimized attack hugging the boundary is caught on a fraction of
+  sessions proportional to how thin its margin is.
+* **Per-session phoneme-subset selection** — each session analyzes a
+  random subset of the sensitive phoneme set (derived from the session
+  nonce through :meth:`repro.core.PhonemeSelectionResult.session_subset`
+  or directly from the request RNG stream).  An attack optimized
+  against one subset transfers poorly to the next session's subset,
+  and the attacker's queries see a noisier objective.
+
+Both knobs are carried by :class:`HardeningConfig`, attached to
+:class:`~repro.core.pipeline.DefenseConfig` and surfaced through the
+serving spec so hardened and unhardened detectors can be A/B'd.  When
+``hardening`` is ``None`` (the default) the pipeline consumes **zero**
+extra RNG draws — existing determinism contracts are untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def sample_subset(
+    symbols: Iterable[str],
+    fraction: float,
+    min_size: int,
+    rng: np.random.Generator,
+) -> FrozenSet[str]:
+    """Draw a random subset of ``symbols`` of relative size ``fraction``.
+
+    The candidate pool is sorted before sampling so the draw depends
+    only on the *set* of symbols and the generator state — never on
+    iteration order — which keeps per-session subsets reproducible
+    across processes.  The subset size is ``ceil(fraction * n)``
+    floored at ``min(min_size, n)``; a fraction of 1.0 returns the full
+    set (and consumes no draw).
+    """
+    pool = sorted(set(symbols))
+    if not pool:
+        raise ConfigurationError("cannot sample a subset of an empty set")
+    size = max(
+        min(int(min_size), len(pool)),
+        math.ceil(float(fraction) * len(pool)),
+    )
+    if size >= len(pool):
+        return frozenset(pool)
+    chosen = rng.choice(len(pool), size=size, replace=False)
+    return frozenset(pool[index] for index in chosen)
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Randomized-defense knobs for the correlation detector.
+
+    Attributes
+    ----------
+    threshold_jitter:
+        Half-width of the per-session uniform threshold perturbation;
+        sessions decide against ``threshold + U(-j, +j)``.  ``0``
+        disables threshold randomization.  The calibrated threshold
+        must keep ``threshold ± jitter`` inside the detector's
+        ``[-1, 1]`` score bounds —
+        :meth:`~repro.core.CorrelationDetector.with_randomized_threshold`
+        validates this per draw.
+    subset_fraction:
+        Fraction of the sensitive phoneme set analyzed per session
+        (``1.0`` disables subset randomization).
+    min_subset:
+        Floor on the per-session subset size, so tiny fractions can
+        never starve segmentation of material.
+    """
+
+    threshold_jitter: float = 0.0
+    subset_fraction: float = 1.0
+    min_subset: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold_jitter <= 1.0:
+            raise ConfigurationError(
+                f"threshold_jitter must lie in [0, 1], "
+                f"got {self.threshold_jitter}"
+            )
+        if not 0.0 < self.subset_fraction <= 1.0:
+            raise ConfigurationError(
+                f"subset_fraction must lie in (0, 1], "
+                f"got {self.subset_fraction}"
+            )
+        if self.min_subset < 1:
+            raise ConfigurationError(
+                f"min_subset must be >= 1, got {self.min_subset}"
+            )
+
+    @property
+    def randomizes_threshold(self) -> bool:
+        """Whether sessions perturb the decision threshold."""
+        return self.threshold_jitter > 0.0
+
+    @property
+    def randomizes_subset(self) -> bool:
+        """Whether sessions analyze a random phoneme subset."""
+        return self.subset_fraction < 1.0
+
+    @property
+    def active(self) -> bool:
+        """Whether any randomized defense is enabled."""
+        return self.randomizes_threshold or self.randomizes_subset
+
+    def session_subset(
+        self,
+        symbols: Iterable[str],
+        rng: np.random.Generator,
+    ) -> FrozenSet[str]:
+        """The phoneme subset one session analyzes."""
+        return sample_subset(
+            symbols, self.subset_fraction, self.min_subset, rng
+        )

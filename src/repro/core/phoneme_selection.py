@@ -30,12 +30,13 @@ from repro.acoustics.materials import BarrierMaterial, GLASS_WINDOW
 from repro.acoustics.microphone import Microphone, SMART_SPEAKER_MIC
 from repro.acoustics.propagation import propagate
 from repro.acoustics.spl import db_to_gain
+from repro.core.hardening import sample_subset
 from repro.dsp.quantiles import spectral_quartile_profile
 from repro.errors import ConfigurationError
 from repro.phonemes.corpus import SyntheticCorpus
 from repro.phonemes.inventory import COMMON_PHONEMES
 from repro.sensing.cross_domain import CrossDomainSensor
-from repro.utils.rng import SeedLike, as_generator, child_rng
+from repro.utils.rng import SeedLike, as_generator, child_rng, derive_seed
 
 
 @dataclass
@@ -140,6 +141,35 @@ class PhonemeSelectionResult:
         return tuple(
             symbol for symbol in self.profiles
             if symbol not in self.selected
+        )
+
+    def session_subset(
+        self,
+        nonce: SeedLike,
+        fraction: float = 0.6,
+        min_size: int = 4,
+    ) -> Tuple[str, ...]:
+        """A per-session random subset of the sensitive set.
+
+        The randomized-defense entry point
+        (:class:`~repro.core.hardening.HardeningConfig`): each
+        verification session derives its analyzed phoneme subset from a
+        session ``nonce``, so an attacker optimizing its waveform
+        against one session's subset faces a different subset — and a
+        shifted score surface — on the next.  The draw is keyed on the
+        nonce through :func:`~repro.utils.rng.derive_seed`, so the same
+        nonce always selects the same subset on every process.
+        """
+        if not self.selected:
+            raise ConfigurationError(
+                "selection result has no sensitive phonemes to sample"
+            )
+        rng = np.random.default_rng(
+            derive_seed(nonce, "phoneme-session-subset")
+        )
+        subset = sample_subset(self.selected, fraction, min_size, rng)
+        return tuple(
+            symbol for symbol in self.selected if symbol in subset
         )
 
     def to_dict(self) -> Dict[str, object]:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.detector import CorrelationDetector, DetectorConfig
 from repro.core.features import FeatureConfig, VibrationFeatureExtractor
+from repro.core.hardening import HardeningConfig
 from repro.core.segmentation import concatenate_segments
 from repro.core.segmenter import Segmenter
 from repro.core.stages import (
@@ -62,6 +63,13 @@ class DefenseConfig:
         replay: body-motion interference (0.3-3.5 Hz) is added to the
         accelerometer readings, which the feature extractor's high-pass
         and artifact crop must absorb.
+    hardening:
+        Optional randomized defenses against adaptive attackers
+        (per-session threshold jitter and phoneme-subset selection;
+        see :class:`~repro.core.hardening.HardeningConfig`).  ``None``
+        — the default — runs the deterministic paper detector and
+        consumes no extra RNG draws, so existing determinism contracts
+        are unchanged.
     """
 
     audio_rate: float = 16_000.0
@@ -70,12 +78,22 @@ class DefenseConfig:
     sync: SyncConfig = field(default_factory=SyncConfig)
     min_audio_s: float = 0.25
     wearer_moving: bool = False
+    hardening: Optional[HardeningConfig] = None
 
     def __post_init__(self) -> None:
         if self.audio_rate <= 0:
             raise ConfigurationError("audio_rate must be > 0")
         if self.min_audio_s < 0:
             raise ConfigurationError("min_audio_s must be >= 0")
+        if (
+            self.hardening is not None
+            and self.hardening.randomizes_threshold
+            and self.detector.threshold is None
+        ):
+            raise ConfigurationError(
+                "hardening.threshold_jitter requires a calibrated "
+                "detector threshold (DetectorConfig.threshold)"
+            )
 
 
 @dataclass(frozen=True)
@@ -515,8 +533,17 @@ class DefensePipeline:
         self,
         va_audio: np.ndarray,
         oracle_utterance: Optional[Utterance],
+        segmenter: Optional[Segmenter] = None,
     ) -> List[Tuple[float, float]]:
-        if self.segmenter is None:
+        """Locate sensitive segments with ``segmenter`` (default: own).
+
+        The hardened segment stage passes a per-session subset clone
+        (:meth:`~repro.core.segmentation.PhonemeSegmenter.with_sensitive_subset`)
+        here; every other caller uses the pipeline's own segmenter.
+        """
+        if segmenter is None:
+            segmenter = self.segmenter
+        if segmenter is None:
             return []
         if oracle_utterance is not None:
             # Oracle segments are timed relative to the utterance start;
@@ -524,11 +551,11 @@ class DefensePipeline:
             offset_s = self._locate_utterance(va_audio, oracle_utterance)
             return [
                 (start + offset_s, end + offset_s)
-                for start, end in self.segmenter.oracle_segments(
+                for start, end in segmenter.oracle_segments(
                     oracle_utterance
                 )
             ]
-        return self.segmenter.segments(va_audio)
+        return segmenter.segments(va_audio)
 
     def _locate_utterance(
         self,

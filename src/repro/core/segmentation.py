@@ -15,6 +15,7 @@ straight from alignments is provided for ablations.
 
 from __future__ import annotations
 
+import copy
 import threading
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
@@ -521,6 +522,34 @@ class PhonemeSegmenter:
                 self.frame_probabilities_batch(audios, dtype=dtype),
             )
         ]
+
+    def with_sensitive_subset(
+        self, symbols: Iterable[str]
+    ) -> "PhonemeSegmenter":
+        """A shallow clone restricted to a subset of the sensitive set.
+
+        Used by the hardened pipeline
+        (:class:`~repro.core.hardening.HardeningConfig`) to analyze a
+        per-session random subset of the sensitive phonemes.  The clone
+        shares this segmenter's trained model and feature statistics —
+        inference is read-only, so sharing is safe and the clone costs
+        O(1) — but filters alignments (:meth:`oracle_segments`,
+        :meth:`frame_labels`) through the subset.  The subset must be a
+        non-empty subset of the current sensitive set; anything else
+        raises :class:`ConfigurationError`.
+        """
+        subset = frozenset(symbols)
+        if not subset:
+            raise ConfigurationError("sensitive subset is empty")
+        unknown = subset - self.sensitive_phonemes
+        if unknown:
+            raise ConfigurationError(
+                "subset contains phonemes outside the sensitive set: "
+                f"{sorted(unknown)}"
+            )
+        clone = copy.copy(self)
+        clone.sensitive_phonemes = subset
+        return clone
 
     def oracle_segments(
         self, utterance: Utterance

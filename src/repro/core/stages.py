@@ -124,7 +124,9 @@ class SegmentStage(Stage):
                 ctx.fallbacks[self.name] = FALLBACK_DEADLINE_SKIP
             else:
                 ctx.segments = pipeline._find_segments(
-                    ctx.va_aligned, ctx.oracle_utterance
+                    ctx.va_aligned,
+                    ctx.oracle_utterance,
+                    segmenter=self._session_segmenter(ctx),
                 )
         config = pipeline.config
         segments = ctx.segments
@@ -146,6 +148,40 @@ class SegmentStage(Stage):
         ctx.va_material = np.asarray(ctx.va_aligned)
         ctx.wearable_material = np.asarray(ctx.wearable_aligned)
         ctx.n_segments = 0
+
+    @staticmethod
+    def _session_segmenter(ctx: StageContext):
+        """The segmenter this session's request should use.
+
+        With subset hardening enabled and a subset-capable segmenter,
+        a per-session random phoneme subset is drawn from the request's
+        RNG stream (label ``harden-subset``) and applied through an
+        O(1) clone.  Subset hardening acts on the alignment/selection
+        layer, so it applies only where the sensitive set is consulted
+        at inference time — the oracle-alignment path; the BLSTM's
+        online frame classifier bakes the training-time set into its
+        weights, and the rate-distortion backend has no phoneme notion
+        at all.  Everywhere else the pipeline's own segmenter is
+        returned and **no draw is consumed**, which also keeps
+        sequential and batched analysis bitwise identical (batched
+        pre-seeded segments never reach this hook).
+        """
+        pipeline = ctx.pipeline
+        hardening = pipeline.config.hardening
+        segmenter = pipeline.segmenter
+        if (
+            hardening is None
+            or not hardening.randomizes_subset
+            or segmenter is None
+            or ctx.oracle_utterance is None
+            or not hasattr(segmenter, "with_sensitive_subset")
+        ):
+            return segmenter
+        subset = hardening.session_subset(
+            segmenter.sensitive_phonemes,
+            child_rng(ctx.generator, "harden-subset"),
+        )
+        return segmenter.with_sensitive_subset(subset)
 
 
 class SenseStage(Stage):
@@ -197,7 +233,17 @@ class DetectStage(Stage):
             ctx.features_va, ctx.features_wearable
         )
         if pipeline.config.detector.threshold is not None:
-            ctx.is_attack = pipeline.detector.decide(ctx.score)
+            detector = pipeline.detector
+            hardening = pipeline.config.hardening
+            if hardening is not None and hardening.randomizes_threshold:
+                # Per-session jittered operating point; the draw comes
+                # from the request's RNG stream (after the sense-stage
+                # draws) so hardened runs stay seed-reproducible.
+                detector = detector.with_randomized_threshold(
+                    child_rng(ctx.generator, "harden-threshold"),
+                    hardening.threshold_jitter,
+                )
+            ctx.is_attack = detector.decide(ctx.score)
 
 
 def default_stages() -> Tuple[Stage, ...]:

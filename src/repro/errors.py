@@ -87,6 +87,16 @@ class WorkerError(ReproError):
         )
 
 
+class BudgetExceededError(ReproError):
+    """An optimizing attacker exhausted its oracle query budget.
+
+    Raised by :class:`repro.redteam.ScoreOracle` when a query would
+    exceed the per-attacker budget.  The optimizer drivers treat it as
+    the normal termination signal for a budget-bounded run; seeing it
+    escape means an attacker queried outside its accounted loop.
+    """
+
+
 class ServiceOverloadError(ReproError):
     """The online verification service shed or refused a request.
 

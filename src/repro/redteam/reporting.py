@@ -1,0 +1,126 @@
+"""Plain-text reports for red-team campaigns and robustness curves."""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.eval.reporting import format_table
+from repro.redteam.campaign import CurveResult, RedTeamResult
+
+
+def _rate(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def format_redteam_result(result: RedTeamResult) -> str:
+    """Render one :func:`~repro.redteam.campaign.run_redteam` outcome."""
+    config = result.config
+    arm = "hardened" if config.hardening is not None else "unhardened"
+    lines = [
+        (
+            f"redteam attack: mode={config.mode} "
+            f"kind={config.attack_kind.value} arm={arm} "
+            f"budget={config.budget} population={config.population} "
+            f"seed={config.seed}"
+        ),
+        (
+            f"deployed threshold {result.threshold:.4f}, attack SPL "
+            f"{config.spl_db:.0f} dB, {config.n_eval_episodes} held-out "
+            f"eval episodes"
+        ),
+    ]
+    rows = [
+        (
+            "static (θ=0)",
+            "-",
+            f"{result.static_eval.mean_score:.4f}",
+            _rate(result.static_eval.detection_rate),
+            _rate(result.static_eval.success_rate),
+        ),
+        (
+            f"optimized (member {result.best_member})",
+            (
+                "-"
+                if math.isnan(result.best_probe_score)
+                else f"{result.best_probe_score:.4f}"
+            ),
+            f"{result.optimized_eval.mean_score:.4f}",
+            _rate(result.optimized_eval.detection_rate),
+            _rate(result.optimized_eval.success_rate),
+        ),
+    ]
+    lines.append(
+        format_table(
+            ["attack", "probe score", "eval score", "detected", "success"],
+            rows,
+        )
+    )
+    lines.append(
+        f"attacker advantage: {_rate(result.advantage)} "
+        f"(optimized - static success rate)"
+    )
+    fell_back = [run.member for run in result.runs if run.fell_back]
+    if fell_back:
+        lines.append(
+            "surrogate fell back to gradient-free for member(s) "
+            + ", ".join(str(member) for member in fell_back)
+        )
+    lines.append("best θ: " + config.space.describe(result.best_params))
+    return "\n".join(lines)
+
+
+def format_curve(result: CurveResult) -> str:
+    """Render a robustness curve: budget vs detection, both arms."""
+    config = result.config
+    hardening = result.hardening
+    lines = [
+        (
+            f"redteam robustness curve: mode={config.mode} "
+            f"kind={config.attack_kind.value} "
+            f"population={config.population} seed={config.seed}"
+        ),
+        (
+            f"deployed threshold {result.threshold:.4f}; hardened arm: "
+            f"jitter ±{hardening.threshold_jitter:.3f}, phoneme subset "
+            f"{hardening.subset_fraction * 100:.0f}% "
+            f"(min {hardening.min_subset})"
+        ),
+    ]
+    rows: List[tuple] = []
+    for budget in result.budgets:
+        cells = {
+            arm: next(
+                point
+                for point in result.points
+                if point.arm == arm and point.budget == budget
+            )
+            for arm in ("unhardened", "hardened")
+        }
+        rows.append(
+            (
+                budget,
+                _rate(cells["unhardened"].detection_rate),
+                _rate(cells["unhardened"].success_rate),
+                _rate(cells["hardened"].detection_rate),
+                _rate(cells["hardened"].success_rate),
+            )
+        )
+    lines.append(
+        format_table(
+            [
+                "budget",
+                "unhardened detect",
+                "unhardened success",
+                "hardened detect",
+                "hardened success",
+            ],
+            rows,
+        )
+    )
+    lines.append(
+        "attacker advantage (best success - static success): "
+        f"unhardened {_rate(result.advantage('unhardened'))}, "
+        f"hardened {_rate(result.advantage('hardened'))}"
+    )
+    return "\n".join(lines)

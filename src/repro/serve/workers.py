@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.detector import DetectorConfig
+from repro.core.hardening import HardeningConfig
 from repro.core.pipeline import (
     BatchAnalysisItem,
     DefenseConfig,
@@ -83,6 +84,14 @@ class PipelineSpec:
         real serving; BLSTM backend only).
     threshold:
         Optional detector threshold; ``None`` reports scores only.
+    threshold_jitter:
+        Randomized-defense knob: per-session uniform jitter (±) applied
+        to the decision threshold (requires ``threshold``).  ``0.0``
+        deploys the paper's deterministic detector.
+    subset_fraction:
+        Randomized-defense knob: fraction of the sensitive-phoneme set
+        each session's segmentation restricts itself to.  ``1.0``
+        disables subset hardening.
     min_audio_s:
         Minimum concatenated-segment material before the pipeline
         falls back to full recordings.
@@ -100,6 +109,8 @@ class PipelineSpec:
     n_per_phoneme: int = 12
     epochs: int = 12
     threshold: Optional[float] = None
+    threshold_jitter: float = 0.0
+    subset_fraction: float = 1.0
     min_audio_s: float = 0.25
     store_dir: Optional[str] = None
 
@@ -109,6 +120,23 @@ class PipelineSpec:
                 f"segmenter_backend must be one of {SEGMENTER_BACKENDS}, "
                 f"got {self.segmenter_backend!r}"
             )
+        # Build the hardening config eagerly so invalid knobs fail at
+        # spec construction, not in a worker initializer.
+        self.hardening
+
+    @property
+    def hardening(self) -> Optional[HardeningConfig]:
+        """The spec's randomized defenses (``None`` when both are off)."""
+        if self.threshold_jitter == 0.0 and self.subset_fraction == 1.0:
+            return None
+        if self.threshold_jitter and self.threshold is None:
+            raise ConfigurationError(
+                "threshold_jitter requires a detector threshold"
+            )
+        return HardeningConfig(
+            threshold_jitter=self.threshold_jitter,
+            subset_fraction=self.subset_fraction,
+        )
 
     @property
     def fingerprint(self) -> int:
@@ -126,6 +154,8 @@ class PipelineSpec:
                 self.use_segmenter,
                 self.segmenter_backend,
                 self.threshold,
+                self.threshold_jitter,
+                self.subset_fraction,
                 self.min_audio_s,
             )
         return stable_fingerprint(
@@ -136,6 +166,8 @@ class PipelineSpec:
             self.n_per_phoneme,
             self.epochs,
             self.threshold,
+            self.threshold_jitter,
+            self.subset_fraction,
             self.min_audio_s,
         )
 
@@ -172,6 +204,7 @@ class PipelineSpec:
             config=DefenseConfig(
                 audio_rate=float(audio_rate),
                 detector=DetectorConfig(threshold=self.threshold),
+                hardening=self.hardening,
                 min_audio_s=self.min_audio_s,
                 wearer_moving=bool(wearer_moving),
             ),

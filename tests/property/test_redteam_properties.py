@@ -1,0 +1,110 @@
+"""Property-based tests on red-team optimizer invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.redteam.campaign import AttackerRun
+from repro.redteam.optimizers import make_optimizer
+from repro.redteam.space import AttackSpace
+
+SPACE = AttackSpace(n_bands=3, n_slices=2)
+
+targets = st.lists(
+    st.floats(min_value=-8.0, max_value=8.0),
+    min_size=SPACE.dimension,
+    max_size=SPACE.dimension,
+)
+
+
+def _best_so_far_series(mode, seed, target, generations):
+    """Per-generation best-so-far under a smooth synthetic objective."""
+    goal = np.asarray(target)
+    optimizer = make_optimizer(mode, SPACE, seed=seed)
+    series = []
+    for _ in range(generations):
+        candidates = optimizer.ask()
+        optimizer.tell(
+            candidates,
+            [-float(np.sum((c - goal) ** 2)) for c in candidates],
+        )
+        series.append(optimizer.best_score)
+    return series
+
+
+@given(
+    st.sampled_from(["cmaes", "random"]),
+    st.integers(min_value=0, max_value=10**6),
+    targets,
+)
+@settings(max_examples=25, deadline=None)
+def test_best_so_far_is_monotone_non_decreasing(mode, seed, target):
+    series = _best_so_far_series(mode, seed, target, generations=5)
+    assert all(
+        later >= earlier
+        for earlier, later in zip(series, series[1:])
+    )
+
+
+@given(
+    st.sampled_from(["cmaes", "random"]),
+    st.integers(min_value=0, max_value=10**6),
+    targets,
+)
+@settings(max_examples=25, deadline=None)
+def test_best_score_matches_best_queried_candidate(mode, seed, target):
+    goal = np.asarray(target)
+    optimizer = make_optimizer(mode, SPACE, seed=seed)
+    queried = []
+    for _ in range(4):
+        candidates = optimizer.ask()
+        scores = [
+            -float(np.sum((c - goal) ** 2)) for c in candidates
+        ]
+        queried.extend(scores)
+        optimizer.tell(candidates, scores)
+    assert optimizer.best_score == max(queried)
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_zero_budget_degenerates_to_static_attack(seed):
+    """An attacker with no queries is exactly the static attack (θ=0)."""
+    run = AttackerRun(member=0, mode="cmaes", history=[], queries_used=0)
+    theta, score = run.best_at_budget(SPACE, 0)
+    assert score is None
+    assert np.array_equal(theta, SPACE.identity())
+    # And θ = 0 leaves any waveform bitwise untouched.
+    waveform = np.random.default_rng(seed).normal(size=512)
+    assert np.array_equal(
+        SPACE.apply(waveform, 16_000.0, theta), waveform
+    )
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1.0, max_value=1.0),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_best_at_budget_is_prefix_maximum(scores, budget):
+    history = [
+        (SPACE.random(np.random.default_rng(i)).tolist(), score)
+        for i, score in enumerate(scores)
+    ]
+    run = AttackerRun(
+        member=0, mode="random", history=history,
+        queries_used=len(history),
+    )
+    theta, best = run.best_at_budget(SPACE, budget)
+    prefix = scores[:budget]
+    if not prefix:
+        assert best is None
+        assert np.array_equal(theta, SPACE.identity())
+    else:
+        assert best == max(prefix)
+        winner = history[prefix.index(max(prefix))][0]
+        assert np.array_equal(theta, np.asarray(winner))

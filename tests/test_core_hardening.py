@@ -1,0 +1,234 @@
+"""Randomized detector defenses: threshold jitter + phoneme subsets."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import CorrelationDetector, DetectorConfig
+from repro.core.hardening import HardeningConfig, sample_subset
+from repro.core.phoneme_selection import PhonemeSelectionResult
+from repro.core.pipeline import DefenseConfig, DefensePipeline
+from repro.core.segmentation import PhonemeSegmenter
+from repro.errors import ConfigurationError
+
+SYMBOLS = tuple(f"p{i}" for i in range(10))
+
+
+# ----------------------------------------------------------------------
+# sample_subset / HardeningConfig
+# ----------------------------------------------------------------------
+
+
+def test_sample_subset_size_and_membership():
+    rng = np.random.default_rng(0)
+    subset = sample_subset(SYMBOLS, 0.5, 2, rng)
+    assert len(subset) == 5
+    assert subset <= set(SYMBOLS)
+
+
+def test_sample_subset_full_fraction_is_identity_without_draw():
+    rng = np.random.default_rng(0)
+    before = rng.bit_generator.state
+    subset = sample_subset(SYMBOLS, 1.0, 1, rng)
+    assert subset == set(SYMBOLS)
+    assert rng.bit_generator.state == before
+
+
+def test_sample_subset_respects_min_size():
+    rng = np.random.default_rng(0)
+    assert len(sample_subset(SYMBOLS, 0.1, 4, rng)) == 4
+
+
+def test_sample_subset_is_seed_deterministic():
+    a = sample_subset(SYMBOLS, 0.6, 2, np.random.default_rng(9))
+    b = sample_subset(SYMBOLS, 0.6, 2, np.random.default_rng(9))
+    assert a == b
+
+
+def test_hardening_config_validation():
+    with pytest.raises(ConfigurationError):
+        HardeningConfig(threshold_jitter=-0.1)
+    with pytest.raises(ConfigurationError):
+        HardeningConfig(threshold_jitter=1.5)
+    with pytest.raises(ConfigurationError):
+        HardeningConfig(subset_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        HardeningConfig(subset_fraction=1.2)
+    with pytest.raises(ConfigurationError):
+        HardeningConfig(min_subset=0)
+
+
+def test_hardening_config_activity_flags():
+    off = HardeningConfig()
+    assert not off.active
+    jitter = HardeningConfig(threshold_jitter=0.05)
+    assert jitter.randomizes_threshold and not jitter.randomizes_subset
+    subset = HardeningConfig(subset_fraction=0.5)
+    assert subset.randomizes_subset and not subset.randomizes_threshold
+    assert subset.active
+
+
+# ----------------------------------------------------------------------
+# CorrelationDetector.with_randomized_threshold
+# ----------------------------------------------------------------------
+
+
+def test_randomized_threshold_draw_stays_in_jitter_window():
+    detector = CorrelationDetector(DetectorConfig(threshold=0.3))
+    for seed in range(20):
+        jittered = detector.with_randomized_threshold(seed, 0.05)
+        assert abs(jittered.config.threshold - 0.3) <= 0.05
+
+
+def test_randomized_threshold_is_seed_deterministic():
+    detector = CorrelationDetector(DetectorConfig(threshold=0.3))
+    a = detector.with_randomized_threshold(11, 0.05)
+    b = detector.with_randomized_threshold(11, 0.05)
+    assert a.config.threshold == b.config.threshold
+
+
+def test_randomized_threshold_requires_base_threshold():
+    detector = CorrelationDetector(DetectorConfig(threshold=None))
+    with pytest.raises(ConfigurationError):
+        detector.with_randomized_threshold(0, 0.05)
+
+
+def test_randomized_threshold_rejects_out_of_bounds_jitter():
+    detector = CorrelationDetector(DetectorConfig(threshold=0.98))
+    with pytest.raises(ConfigurationError):
+        detector.with_randomized_threshold(0, 0.05)
+    with pytest.raises(ConfigurationError):
+        CorrelationDetector(
+            DetectorConfig(threshold=0.3)
+        ).with_randomized_threshold(0, -0.01)
+
+
+# ----------------------------------------------------------------------
+# PhonemeSelectionResult.session_subset
+# ----------------------------------------------------------------------
+
+
+def _selection(selected=SYMBOLS):
+    return PhonemeSelectionResult(
+        selected=tuple(selected),
+        satisfies_criterion_1=tuple(selected),
+        satisfies_criterion_2=tuple(selected),
+        profiles={},
+        alpha=0.1,
+    )
+
+
+def test_session_subset_nonce_stability():
+    result = _selection()
+    assert result.session_subset(42) == result.session_subset(42)
+    assert result.session_subset(42) != result.session_subset(43)
+
+
+def test_session_subset_preserves_selection_order():
+    result = _selection()
+    subset = result.session_subset(7, fraction=0.5)
+    positions = [SYMBOLS.index(symbol) for symbol in subset]
+    assert positions == sorted(positions)
+
+
+def test_session_subset_rejects_empty_selection():
+    with pytest.raises(ConfigurationError):
+        _selection(selected=()).session_subset(0)
+
+
+# ----------------------------------------------------------------------
+# PhonemeSegmenter.with_sensitive_subset
+# ----------------------------------------------------------------------
+
+
+def test_with_sensitive_subset_clones_without_mutation():
+    segmenter = PhonemeSegmenter()
+    full = set(segmenter.sensitive_phonemes)
+    subset = set(list(full)[: len(full) // 2])
+    clone = segmenter.with_sensitive_subset(subset)
+    assert set(clone.sensitive_phonemes) == subset
+    assert set(segmenter.sensitive_phonemes) == full
+
+
+def test_with_sensitive_subset_rejects_unknown_and_empty():
+    segmenter = PhonemeSegmenter()
+    with pytest.raises(ConfigurationError):
+        segmenter.with_sensitive_subset(set())
+    with pytest.raises(ConfigurationError):
+        segmenter.with_sensitive_subset({"not-a-phoneme"})
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration: the zero-extra-draw contract
+# ----------------------------------------------------------------------
+
+
+def _recordings(seed=0, n=24_000):
+    rng = np.random.default_rng(seed)
+    va = rng.normal(size=n)
+    wearable = rng.normal(size=n)
+    return va, wearable
+
+
+def test_defense_config_jitter_requires_threshold():
+    with pytest.raises(ConfigurationError):
+        DefenseConfig(
+            detector=DetectorConfig(threshold=None),
+            hardening=HardeningConfig(threshold_jitter=0.05),
+        )
+
+
+def test_disabled_hardening_is_bitwise_noop():
+    """hardening=None and an all-off config consume zero extra draws."""
+    va, wearable = _recordings()
+    base = DefensePipeline(
+        config=DefenseConfig(detector=DetectorConfig(threshold=0.3))
+    )
+    noop = DefensePipeline(
+        config=DefenseConfig(
+            detector=DetectorConfig(threshold=0.3),
+            hardening=HardeningConfig(),
+        )
+    )
+    a = base.analyze(va, wearable, rng=5)
+    b = noop.analyze(va, wearable, rng=5)
+    assert a.score == b.score
+    assert a.is_attack == b.is_attack
+
+
+def test_threshold_jitter_changes_decision_not_score():
+    va, wearable = _recordings()
+    # Deploy the threshold on top of the observed score distribution so
+    # the jitter window straddles the decision boundary.
+    threshold = DefensePipeline().score(va, wearable, rng=0) + 0.005
+    base = DefensePipeline(
+        config=DefenseConfig(detector=DetectorConfig(threshold=threshold))
+    )
+    hardened = DefensePipeline(
+        config=DefenseConfig(
+            detector=DetectorConfig(threshold=threshold),
+            hardening=HardeningConfig(threshold_jitter=0.05),
+        )
+    )
+    flipped = False
+    for seed in range(40):
+        plain = base.analyze(va, wearable, rng=seed)
+        jittered = hardened.analyze(va, wearable, rng=seed)
+        # Jitter moves the decision boundary, never the score.
+        assert jittered.score == plain.score
+        if jittered.is_attack != plain.is_attack:
+            flipped = True
+    assert flipped
+
+
+def test_threshold_jitter_is_session_deterministic():
+    va, wearable = _recordings()
+    hardened = DefensePipeline(
+        config=DefenseConfig(
+            detector=DetectorConfig(threshold=0.3),
+            hardening=HardeningConfig(threshold_jitter=0.1),
+        )
+    )
+    a = hardened.analyze(va, wearable, rng=12)
+    b = hardened.analyze(va, wearable, rng=12)
+    assert a.score == b.score
+    assert a.is_attack == b.is_attack

@@ -1,0 +1,123 @@
+"""ScoreOracle: budget accounting, CRN determinism, eval guard."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackScenario, ReplayAttack
+from repro.core.detector import DetectorConfig
+from repro.core.pipeline import DefenseConfig, DefensePipeline
+from repro.core.segmentation import PhonemeSegmenter
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.eval.rooms import ROOM_A
+from repro.phonemes import SyntheticCorpus
+from repro.redteam.oracle import (
+    EvaluationResult,
+    OracleConfig,
+    ScoreOracle,
+)
+from repro.redteam.space import AttackSpace
+
+SPACE = AttackSpace(n_bands=3, n_slices=2)
+
+
+def _oracle(budget=None, threshold=None, seed=0, n_probe_episodes=1):
+    corpus = SyntheticCorpus(n_speakers=2, seed=1)
+    attack = ReplayAttack(corpus, corpus.speakers[0]).generate_indexed(
+        7, 0
+    )
+    pipeline = DefensePipeline(
+        segmenter=PhonemeSegmenter(),
+        config=DefenseConfig(
+            detector=DetectorConfig(threshold=threshold)
+        ),
+    )
+    return ScoreOracle(
+        attack,
+        AttackScenario(room_config=ROOM_A),
+        pipeline,
+        SPACE,
+        OracleConfig(
+            n_probe_episodes=n_probe_episodes,
+            budget=budget,
+            seed=seed,
+        ),
+    )
+
+
+def test_budget_is_charged_and_enforced():
+    oracle = _oracle(budget=2)
+    assert oracle.queries_remaining == 2
+    oracle.query(SPACE.identity())
+    oracle.query(SPACE.identity())
+    assert oracle.queries_used == 2
+    assert oracle.queries_remaining == 0
+    with pytest.raises(BudgetExceededError):
+        oracle.query(SPACE.identity())
+    # A failed query is not charged.
+    assert oracle.queries_used == 2
+
+
+def test_unlimited_oracle_reports_none_remaining():
+    oracle = _oracle(budget=None)
+    assert oracle.queries_remaining is None
+    oracle.query(SPACE.identity())
+    assert oracle.queries_used == 1
+
+
+def test_probe_queries_use_common_random_numbers():
+    """Same θ twice → bitwise the same score (fixed probe episodes)."""
+    oracle = _oracle()
+    theta = SPACE.random(np.random.default_rng(4))
+    assert oracle.query(theta) == oracle.query(theta)
+    # And a fresh oracle with the same seed agrees.
+    assert _oracle().query(theta) == _oracle().query(theta)
+
+
+def test_probe_seed_changes_with_oracle_seed():
+    theta = SPACE.identity()
+    assert _oracle(seed=0).query(theta) != _oracle(seed=1).query(theta)
+
+
+def test_eval_episodes_are_disjoint_from_probes():
+    oracle = _oracle(threshold=0.3)
+    theta = SPACE.identity()
+    probe = oracle.query(theta)
+    evaluation = oracle.evaluate(theta, n_episodes=2)
+    assert all(score != probe for score in evaluation.scores)
+
+
+def test_evaluate_requires_calibrated_threshold():
+    oracle = _oracle(threshold=None)
+    with pytest.raises(ConfigurationError):
+        oracle.evaluate(SPACE.identity(), n_episodes=1)
+
+
+def test_evaluate_is_budget_free():
+    oracle = _oracle(budget=1, threshold=0.3)
+    oracle.evaluate(SPACE.identity(), n_episodes=2)
+    assert oracle.queries_used == 0
+    assert oracle.queries_remaining == 1
+
+
+def test_evaluation_result_rates():
+    result = EvaluationResult(
+        scores=[0.1, 0.2, 0.5, 0.6],
+        detected=[True, True, False, False],
+    )
+    assert result.n_episodes == 4
+    assert result.detection_rate == 0.5
+    assert result.success_rate == 0.5
+    assert result.mean_score == pytest.approx(0.35)
+
+
+def test_shaping_moves_the_probe_score():
+    oracle = _oracle()
+    theta = SPACE.upper_bounds.copy()
+    assert oracle.query(theta) != oracle.query(SPACE.identity())
+
+
+def test_oracle_config_validation():
+    with pytest.raises(ConfigurationError):
+        OracleConfig(n_probe_episodes=0)
+    with pytest.raises(ConfigurationError):
+        OracleConfig(budget=-1)

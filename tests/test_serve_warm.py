@@ -84,3 +84,54 @@ class TestAnalyzeTimed:
         ).analyze(va, wearable, rng=5)
         assert degraded == baseline
         assert degraded.n_segments == 0
+
+
+class TestPipelineSpecHardening:
+    """The randomized-defense knobs ride the serving spec."""
+
+    def test_hardening_defaults_off(self):
+        from repro.serve.workers import PipelineSpec
+
+        spec = PipelineSpec(use_segmenter=False)
+        assert spec.hardening is None
+        pipeline = spec.build_pipeline(16_000.0, False)
+        assert pipeline.config.hardening is None
+
+    def test_hardening_knobs_reach_the_pipeline(self):
+        from repro.serve.workers import PipelineSpec
+
+        spec = PipelineSpec(
+            use_segmenter=False,
+            threshold=0.3,
+            threshold_jitter=0.05,
+            subset_fraction=0.5,
+        )
+        pipeline = spec.build_pipeline(16_000.0, False)
+        hardening = pipeline.config.hardening
+        assert hardening is not None
+        assert hardening.threshold_jitter == 0.05
+        assert hardening.subset_fraction == 0.5
+
+    def test_jitter_without_threshold_fails_at_spec_construction(self):
+        from repro.errors import ConfigurationError
+        from repro.serve.workers import PipelineSpec
+
+        with pytest.raises(ConfigurationError):
+            PipelineSpec(use_segmenter=False, threshold_jitter=0.05)
+
+    def test_hardening_knobs_split_the_fingerprint(self):
+        from repro.serve.workers import PipelineSpec
+
+        plain = PipelineSpec(threshold=0.3)
+        jittered = PipelineSpec(threshold=0.3, threshold_jitter=0.05)
+        subset = PipelineSpec(threshold=0.3, subset_fraction=0.5)
+        rd_plain = PipelineSpec(segmenter_backend="rd", threshold=0.3)
+        rd_subset = PipelineSpec(
+            segmenter_backend="rd", threshold=0.3, subset_fraction=0.5
+        )
+        assert len({
+            plain.fingerprint,
+            jittered.fingerprint,
+            subset.fingerprint,
+        }) == 3
+        assert rd_plain.fingerprint != rd_subset.fingerprint
