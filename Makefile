@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
-	perf-smoke runtime-smoke segmenter-smoke fleet-smoke \
+	perf-smoke sense-smoke runtime-smoke segmenter-smoke fleet-smoke \
 	redteam-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
@@ -113,6 +113,19 @@ redteam-smoke:
 # sequential loop at batch 8 (exits non-zero otherwise).
 perf-smoke:
 	$(PYTHON) benchmarks/bench_batched_inference.py --quick
+
+# Sensing smoke: the vectorized cross-domain sensing chain.  Unit
+# tests pin bitwise parity (convert_batch vs convert, shm transport
+# round-trips, adaptive batching decisions); then the throughput
+# bench re-checks parity on every measured batch and gates batched >=
+# sequential at batch 8; finally an adaptive-batching serve run must
+# answer every request.
+sense-smoke:
+	$(PYTHON) -m pytest tests/test_sensing_batch.py \
+		tests/test_runtime_shm.py tests/test_serve_adaptive.py -q
+	$(PYTHON) benchmarks/bench_sense_throughput.py --quick
+	$(PYTHON) -m repro loadgen --segmenter none --workers 2 \
+		--requests 8 --concurrency 4 --p95-target-ms 150 --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

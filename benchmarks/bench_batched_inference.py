@@ -2,12 +2,13 @@
 
 Measures the vectorized micro-batch fast path end-to-end: the masked
 BLSTM segmentation stage (`PhonemeSegmenter.segments_batch` vs a
-sequential `segments` loop) and the full pipeline
-(`DefensePipeline.analyze_batch` vs an `analyze_timed` loop) at batch
-sizes 1/4/8/16, plus the opt-in float32 compute path.  The acceptance
-bar: batched segmentation at batch 8 must be at least 2x the
-sequential throughput (the vectorized forward amortizes Python-level
-recurrence overhead across the batch).
+sequential `segments` loop), the cross-domain sensing stage
+(`CrossDomainSensor.convert_batch` vs a sequential `convert` loop),
+and the full pipeline (`DefensePipeline.analyze_batch` vs an
+`analyze_timed` loop) at batch sizes 1/4/8/16, plus the opt-in
+float32 compute path.  The acceptance bar: batched segmentation at
+batch 8 must be at least 2x the sequential throughput (the vectorized
+forward amortizes Python-level recurrence overhead across the batch).
 
 Runs two ways:
 
@@ -35,6 +36,7 @@ from benchmarks.conftest import emit, run_once
 from repro.core.pipeline import BatchAnalysisItem, DefensePipeline
 from repro.core.segmentation import default_segmenter
 from repro.eval.reporting import format_table
+from repro.sensing.cross_domain import CrossDomainSensor
 
 AUDIO_RATE = 16_000.0
 BATCH_SIZES = (1, 4, 8, 16)
@@ -104,6 +106,40 @@ def measure_segmentation(segmenter, batch_sizes, rounds):
     return rows, speedups
 
 
+def measure_sensing(batch_sizes, rounds):
+    """Rows of (batch, seq req/s, batched req/s, speedup) for the
+    cross-domain sensing stage (`convert_batch` vs a `convert` loop,
+    same per-item rng streams — results are bitwise identical)."""
+    sensor = CrossDomainSensor()
+    rows = []
+    for batch in batch_sizes:
+        audios = [va for va, _ in _recordings(batch)]
+        seeds = list(range(batch))
+        seq_total, _ = _timed(
+            lambda: [
+                sensor.convert(audio, AUDIO_RATE, rng=seed)
+                for audio, seed in zip(audios, seeds)
+            ],
+            rounds,
+        )
+        bat_total, _ = _timed(
+            lambda: sensor.convert_batch(
+                audios, AUDIO_RATE, rngs=seeds
+            ),
+            rounds,
+        )
+        n = batch * rounds
+        rows.append(
+            (
+                batch,
+                f"{n / seq_total:.1f}",
+                f"{n / bat_total:.1f}",
+                f"{seq_total / bat_total:.2f}x",
+            )
+        )
+    return rows
+
+
 def measure_end_to_end(segmenter, batch_sizes, rounds):
     """Rows of (batch, seq/batched req/s, seq/batched p95 ms)."""
     pipeline = DefensePipeline(segmenter=segmenter)
@@ -157,17 +193,27 @@ def run_sweep(batch_sizes=BATCH_SIZES, rounds=5):
     seg_rows, speedups = measure_segmentation(
         segmenter, batch_sizes, rounds
     )
+    sense_rows = measure_sensing(batch_sizes, rounds)
     e2e_rows = measure_end_to_end(segmenter, batch_sizes, rounds)
-    return seg_rows, speedups, e2e_rows
+    return seg_rows, speedups, sense_rows, e2e_rows
 
 
-def render(seg_rows, e2e_rows, rounds):
+def render(seg_rows, sense_rows, e2e_rows, rounds):
     body = format_table(
         ["batch", "seq req/s", "batched req/s", "speedup", "f32 req/s"],
         seg_rows,
         title=(
             f"segmentation stage — one masked BLSTM forward per batch, "
             f"{rounds} round(s)"
+        ),
+    )
+    body += "\n\n"
+    body += format_table(
+        ["batch", "seq req/s", "batched req/s", "speedup"],
+        sense_rows,
+        title=(
+            "sensing stage — vectorized replay chain "
+            "(convert_batch vs convert loop)"
         ),
     )
     body += "\n\n"
@@ -187,10 +233,13 @@ def render(seg_rows, e2e_rows, rounds):
 
 def test_batched_inference(benchmark):
     rounds = 5
-    seg_rows, speedups, e2e_rows = run_once(
+    seg_rows, speedups, sense_rows, e2e_rows = run_once(
         benchmark, lambda: run_sweep(rounds=rounds)
     )
-    emit("batched_inference", render(seg_rows, e2e_rows, rounds))
+    emit(
+        "batched_inference",
+        render(seg_rows, sense_rows, e2e_rows, rounds),
+    )
     assert speedups[8] >= SPEEDUP_TARGET, (
         f"batched segmentation at batch 8 is only {speedups[8]:.2f}x "
         f"sequential (target {SPEEDUP_TARGET}x)"
@@ -215,10 +264,10 @@ def main(argv=None):
 
     batch_sizes = (1, 8) if args.quick else BATCH_SIZES
     rounds = 2 if args.quick else 5
-    seg_rows, speedups, e2e_rows = run_sweep(
+    seg_rows, speedups, sense_rows, e2e_rows = run_sweep(
         batch_sizes=batch_sizes, rounds=rounds
     )
-    print(render(seg_rows, e2e_rows, rounds))
+    print(render(seg_rows, sense_rows, e2e_rows, rounds))
 
     target = 1.0 if args.quick else SPEEDUP_TARGET
     if speedups[8] < target:

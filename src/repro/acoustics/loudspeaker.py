@@ -13,7 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_1d, ensure_2d, ensure_positive
 
 
 @dataclass(frozen=True)
@@ -89,6 +89,35 @@ class Loudspeaker:
             peak = float(np.max(np.abs(shaped))) + 1e-12
             normalized = shaped / peak
             shaped = peak * (
+                normalized
+                + self.spec.harmonic_distortion * normalized**2
+            )
+        return shaped
+
+    def play_batch(
+        self, signals: np.ndarray, sample_rate: float
+    ) -> np.ndarray:
+        """:meth:`play` over a ``(batch, time)`` stack of signals.
+
+        Row ``i`` of the result is bitwise identical to
+        ``play(signals[i], sample_rate)``: the FFT shaping runs along the
+        last axis and the distortion normalizes by each row's own peak.
+        """
+        samples = ensure_2d(signals, "signals")
+        ensure_positive(sample_rate, "sample_rate")
+        spectrum = np.fft.rfft(samples, axis=-1)
+        frequencies = np.fft.rfftfreq(
+            samples.shape[-1], d=1.0 / sample_rate
+        )
+        shaped = np.fft.irfft(
+            spectrum * self.frequency_response(frequencies),
+            n=samples.shape[-1],
+            axis=-1,
+        )
+        if self.spec.harmonic_distortion > 0:
+            peaks = np.max(np.abs(shaped), axis=-1, keepdims=True) + 1e-12
+            normalized = shaped / peaks
+            shaped = peaks * (
                 normalized
                 + self.spec.harmonic_distortion * normalized**2
             )

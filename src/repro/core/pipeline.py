@@ -38,7 +38,7 @@ from repro.errors import ConfigurationError, SignalError
 from repro.phonemes.corpus import Utterance
 from repro.runtime.events import StageEvent, StageEventSink, emit_event
 from repro.sensing.cross_domain import CrossDomainSensor
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import SeedLike, as_generator, child_rng
 
 
 @dataclass
@@ -329,37 +329,47 @@ class DefensePipeline:
         items: Sequence[BatchAnalysisItem],
         dtype=None,
     ) -> List[BatchAnalysisOutcome]:
-        """Analyze a micro-batch with one vectorized segmentation pass.
+        """Analyze a micro-batch with vectorized segmentation and sensing.
 
-        The BLSTM segmentation stage — the pipeline's hottest — is
-        hoisted out of the per-request loop: every batch member that
-        needs model-based segmentation contributes its (synced) VA
-        recording to a single
-        :meth:`~repro.core.segmentation.PhonemeSegmenter.segments_batch`
-        call.  Everything request-specific (synchronization, oracle
-        segmentation, material extraction, cross-domain sensing,
-        feature extraction, detection) still runs per request — through
-        the same stage objects as :meth:`analyze` — with the request's
-        own RNG stream, so each verdict is bitwise identical to a
-        sequential :meth:`analyze` call with the same arguments
-        (``dtype=None``; the opt-in float32 compute path trades that
-        bitwise guarantee for speed).
+        The two hottest stages are hoisted out of the per-request loop:
+
+        * **segmentation** — every batch member that needs model-based
+          segmentation contributes its (synced) VA recording to a
+          single
+          :meth:`~repro.core.segmentation.PhonemeSegmenter.segments_batch`
+          call;
+        * **cross-domain sensing** — after material extraction, the
+          whole batch's ``replay-va`` conversions become one
+          :meth:`~repro.sensing.cross_domain.CrossDomainSensor.convert_batch`
+          call, and likewise the ``replay-wearable`` conversions.  Each
+          request's child RNG streams are derived in the sequential
+          order first, so every vibration signal is bitwise identical
+          to the sequential path.
+
+        Everything request-specific (synchronization, oracle
+        segmentation, material extraction, feature extraction,
+        detection) still runs per request — through the same stage
+        objects as :meth:`analyze` — with the request's own RNG stream,
+        so each verdict is bitwise identical to a sequential
+        :meth:`analyze` call with the same arguments (``dtype=None``;
+        the opt-in float32 compute path trades that bitwise guarantee
+        for speed).
 
         Per-request semantics preserved:
 
         * **stage timings** — per-request dicts with the usual
           :data:`PIPELINE_STAGES` keys; the shared batched
-          segmentation cost is amortized equally across the requests
-          that used it;
+          segmentation and sensing costs are amortized equally across
+          the requests that used them;
         * **deadline checks** — callers mark expired requests with
           ``skip_segmentation=True`` exactly as on the sequential
           path;
         * **error isolation** — a failing request records its
           exception in its own :class:`BatchAnalysisOutcome` and
-          never disturbs batch-mates; if the *batched* segmentation
-          call itself fails, segmentation falls back to per-request
-          :meth:`~repro.core.segmentation.PhonemeSegmenter.segments`
-          calls so healthy requests still complete.
+          never disturbs batch-mates; if a *batched* call itself
+          fails, that stage falls back to per-request execution
+          (sequential ``segments`` / ``convert`` with the
+          already-derived streams) so healthy requests still complete.
         """
         items = list(items)
         outcomes = [BatchAnalysisOutcome() for _ in items]
@@ -433,6 +443,15 @@ class DefensePipeline:
                 )
             )
 
+        # Per-request segmentation / material extraction (respecting the
+        # pre-seeded segment lists), so the sensing hoist below sees the
+        # final audio material of every healthy request.
+        segment_stages = tuple(
+            s for s in stages_after_sync() if s.name == "segment"
+        )
+        post_segment_stages = tuple(
+            s for s in stages_after_sync() if s.name != "segment"
+        )
         for index in range(len(items)):
             outcome = outcomes[index]
             ctx = contexts[index]
@@ -443,8 +462,28 @@ class DefensePipeline:
                 ctx.extra_stage_s["segment"] = shared_segment_s
             try:
                 self._run_stages(
+                    ctx, segment_stages, outcome.timings, outcome.events
+                )
+            except Exception as error:  # noqa: BLE001 — isolated
+                outcome.error = error
+
+        # One vectorized cross-domain sensing pass per replay direction
+        # for every request still healthy.  The child streams are
+        # derived per request in the sequential order (``replay-va``
+        # then ``replay-wearable``) *before* the batched calls, so a
+        # batch-level failure can fall back to per-request conversion
+        # inside SenseStage without perturbing any stream.
+        self._sense_batch(items, contexts, outcomes)
+
+        for index in range(len(items)):
+            outcome = outcomes[index]
+            ctx = contexts[index]
+            if outcome.error is not None or ctx is None:
+                continue
+            try:
+                self._run_stages(
                     ctx,
-                    stages_after_sync(),
+                    post_segment_stages,
                     outcome.timings,
                     outcome.events,
                 )
@@ -452,6 +491,80 @@ class DefensePipeline:
             except Exception as error:  # noqa: BLE001 — isolated
                 outcome.error = error
         return outcomes
+
+    def _sense_batch(
+        self,
+        items: Sequence[BatchAnalysisItem],
+        contexts: Sequence[Optional[StageContext]],
+        outcomes: Sequence[BatchAnalysisOutcome],
+    ) -> None:
+        """Vectorized sensing across a batch's healthy requests.
+
+        Pre-seeds ``vibration_va`` / ``vibration_wearable`` (and the
+        amortized ``sense`` timing share) on each surviving context.  On
+        failure of a batched conversion nothing is pre-seeded beyond the
+        derived RNG streams, and :class:`~repro.core.stages.SenseStage`
+        converts per request with those exact streams — bitwise the same
+        result, minus the speedup.
+        """
+        config = self.config
+        sense_indices = [
+            index
+            for index in range(len(items))
+            if contexts[index] is not None
+            and outcomes[index].error is None
+        ]
+        if not sense_indices:
+            return
+        for index in sense_indices:
+            ctx = contexts[index]
+            ctx.sense_rng_va = child_rng(ctx.generator, "replay-va")
+            ctx.sense_rng_wearable = child_rng(
+                ctx.generator, "replay-wearable"
+            )
+        fallback: Optional[str] = None
+        start = time.perf_counter()
+        try:
+            vibrations_va = self.sensor.convert_batch(
+                [contexts[index].va_material for index in sense_indices],
+                config.audio_rate,
+                rngs=[
+                    contexts[index].sense_rng_va
+                    for index in sense_indices
+                ],
+                include_body_motion=config.wearer_moving,
+            )
+            vibrations_wearable = self.sensor.convert_batch(
+                [
+                    contexts[index].wearable_material
+                    for index in sense_indices
+                ],
+                config.audio_rate,
+                rngs=[
+                    contexts[index].sense_rng_wearable
+                    for index in sense_indices
+                ],
+                include_body_motion=config.wearer_moving,
+            )
+        except Exception:  # noqa: BLE001 — SenseStage falls back
+            fallback = "per-request"
+        batch_wall = time.perf_counter() - start
+        if fallback is None:
+            shared_sense_s = batch_wall / len(sense_indices)
+            for row, index in enumerate(sense_indices):
+                ctx = contexts[index]
+                ctx.vibration_va = vibrations_va[row]
+                ctx.vibration_wearable = vibrations_wearable[row]
+                ctx.extra_stage_s["sense"] = shared_sense_s
+        self._emit(
+            StageEvent(
+                stage="sense_batch",
+                wall_s=batch_wall,
+                batch_size=len(sense_indices),
+                fallback=fallback,
+                scope="batch",
+            )
+        )
 
     def score(
         self,

@@ -63,6 +63,14 @@ class StageContext:
     va_material: Optional[np.ndarray] = None
     wearable_material: Optional[np.ndarray] = None
     n_segments: int = 0
+    #: Child RNG streams for the two sensing replays, pre-derived by the
+    #: batched path (in the sequential order: ``replay-va`` then
+    #: ``replay-wearable``) so a failed batched sensing pass can fall
+    #: back to per-request conversion without perturbing the stream.
+    sense_rng_va: Optional["object"] = None
+    sense_rng_wearable: Optional["object"] = None
+    #: ``None`` until sensing ran; the batched path pre-seeds these from
+    #: the shared vectorized conversion.
     vibration_va: Optional[np.ndarray] = None
     vibration_wearable: Optional[np.ndarray] = None
     features_va: Optional[np.ndarray] = None
@@ -195,18 +203,30 @@ class SenseStage(Stage):
     name = "sense"
 
     def run(self, ctx: StageContext) -> None:
+        if (
+            ctx.vibration_va is not None
+            and ctx.vibration_wearable is not None
+        ):
+            # Pre-seeded by the batched sensing pass; the replay draws
+            # were already consumed when its streams were derived.
+            return
         pipeline = ctx.pipeline
         config = pipeline.config
+        rng_va = ctx.sense_rng_va
+        rng_wearable = ctx.sense_rng_wearable
+        if rng_va is None or rng_wearable is None:
+            rng_va = child_rng(ctx.generator, "replay-va")
+            rng_wearable = child_rng(ctx.generator, "replay-wearable")
         ctx.vibration_va = pipeline.sensor.convert(
             ctx.va_material,
             config.audio_rate,
-            rng=child_rng(ctx.generator, "replay-va"),
+            rng=rng_va,
             include_body_motion=config.wearer_moving,
         )
         ctx.vibration_wearable = pipeline.sensor.convert(
             ctx.wearable_material,
             config.audio_rate,
-            rng=child_rng(ctx.generator, "replay-wearable"),
+            rng=rng_wearable,
             include_body_motion=config.wearer_moving,
         )
 

@@ -3,15 +3,29 @@
 Used for: the wearable's high-pass preprocessing that removes body-motion
 interference, barrier/microphone/loudspeaker frequency shaping, and the
 anti-aliased decimation path (the accelerometer path deliberately skips it).
+
+Filter *designs* are memoized: a Butterworth design depends only on
+``(order, cutoff, btype, rate)``, yet the sensing hot path used to
+redesign it on every call.  :func:`butter_sos` caches the section
+matrices (read-only, like ``get_window``/``mel_filterbank``), so
+repeated filtering pays only the ``sosfiltfilt`` cost.
+
+The ``*_batch`` variants filter a ``(batch, time)`` stack of
+equal-length signals along the last axis.  scipy applies the identical
+per-row arithmetic, so every row is bitwise equal to filtering it alone
+— the contract the batched cross-domain sensing path builds on.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple, Union
 
 import numpy as np
 from scipy import signal as sp_signal
 
 from repro.errors import ConfigurationError
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_1d, ensure_2d, ensure_positive
 
 
 def _validate_cutoff(cutoff_hz: float, sample_rate: float, name: str) -> float:
@@ -25,6 +39,46 @@ def _validate_cutoff(cutoff_hz: float, sample_rate: float, name: str) -> float:
     return cutoff_hz
 
 
+@lru_cache(maxsize=128)
+def _butter_sos_cached(
+    order: int,
+    cutoff: Union[float, Tuple[float, float]],
+    btype: str,
+    sample_rate: float,
+) -> np.ndarray:
+    sos = sp_signal.butter(
+        order,
+        list(cutoff) if isinstance(cutoff, tuple) else cutoff,
+        btype=btype,
+        fs=sample_rate,
+        output="sos",
+    )
+    sos.setflags(write=False)
+    return sos
+
+
+def butter_sos(
+    order: int,
+    cutoff: Union[float, Tuple[float, float]],
+    btype: str,
+    sample_rate: float,
+) -> np.ndarray:
+    """Memoized Butterworth second-order-section design.
+
+    The design is a pure function of its arguments, so the cached matrix
+    is bitwise identical to a fresh ``scipy.signal.butter`` call.
+    Returns a writable copy (a few dozen floats) because scipy's sosfilt
+    kernels reject read-only buffers; the cached master stays frozen.
+    """
+    if isinstance(cutoff, (tuple, list)):
+        cutoff = tuple(float(edge) for edge in cutoff)
+    else:
+        cutoff = float(cutoff)
+    return _butter_sos_cached(
+        int(order), cutoff, btype, float(sample_rate)
+    ).copy()
+
+
 def butter_highpass(
     signal: np.ndarray,
     sample_rate: float,
@@ -34,9 +88,7 @@ def butter_highpass(
     """Zero-phase Butterworth high-pass filter."""
     samples = ensure_1d(signal)
     cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="highpass", fs=sample_rate, output="sos"
-    )
+    sos = butter_sos(order, cutoff_hz, "highpass", sample_rate)
     return _sosfiltfilt_safe(sos, samples)
 
 
@@ -49,9 +101,24 @@ def butter_lowpass(
     """Zero-phase Butterworth low-pass filter."""
     samples = ensure_1d(signal)
     cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
-    sos = sp_signal.butter(
-        order, cutoff_hz, btype="lowpass", fs=sample_rate, output="sos"
-    )
+    sos = butter_sos(order, cutoff_hz, "lowpass", sample_rate)
+    return _sosfiltfilt_safe(sos, samples)
+
+
+def butter_lowpass_batch(
+    signals: np.ndarray,
+    sample_rate: float,
+    cutoff_hz: float,
+    order: int = 4,
+) -> np.ndarray:
+    """Zero-phase low-pass over a ``(batch, time)`` stack of signals.
+
+    Row ``i`` of the result is bitwise identical to
+    ``butter_lowpass(signals[i], ...)``.
+    """
+    samples = ensure_2d(signals, "signals")
+    cutoff_hz = _validate_cutoff(cutoff_hz, sample_rate, "cutoff_hz")
+    sos = butter_sos(order, cutoff_hz, "lowpass", sample_rate)
     return _sosfiltfilt_safe(sos, samples)
 
 
@@ -70,10 +137,7 @@ def butter_bandpass(
         raise ConfigurationError(
             f"low_hz ({low_hz}) must be < high_hz ({high_hz})"
         )
-    sos = sp_signal.butter(
-        order, [low_hz, high_hz], btype="bandpass", fs=sample_rate,
-        output="sos",
-    )
+    sos = butter_sos(order, (low_hz, high_hz), "bandpass", sample_rate)
     return _sosfiltfilt_safe(sos, samples)
 
 

@@ -1,0 +1,284 @@
+"""Shared-memory transport for arrays crossing the process boundary.
+
+Process-pool payloads in this library are dominated by numpy audio
+arrays (a one-second 16 kHz float64 recording is 128 KiB, and a serve
+micro-batch carries two of them per request).  Pickling copies every
+byte twice — once serializing into the pipe, once deserializing out of
+it — and the pipe itself is a bottleneck under batched load.
+
+:class:`ShmTransport` parks large arrays in POSIX shared memory
+(:mod:`multiprocessing.shared_memory`) instead: the parent copies each
+array into a named segment once and sends a tiny picklable
+:class:`ShmRef`; the worker attaches, copies out a private array, and
+closes.  Everything else in the payload still travels by pickle, so the
+transport is transparent to the functions being executed.
+
+Lifecycle contract (creator owns the segments):
+
+* :meth:`ShmTransport.encode` returns the rewritten payload **and** a
+  :class:`ShmLease` owning every segment it created.  The caller must
+  call :meth:`ShmLease.release` once the consumer has decoded — the
+  :class:`~repro.runtime.executor.Runtime` does this from the future's
+  done-callback, which also fires on cancellation and pool breakage, so
+  segments are reclaimed on every path.
+* :func:`decode_payload` (worker side) copies data out and closes its
+  attachment immediately; it never unlinks.
+
+Graceful degradation: when ``/dev/shm`` is unavailable (restricted
+containers), segment creation fails, or an array is smaller than
+``min_bytes``, payloads travel by plain pickle — bit-identical results,
+just slower.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import logging
+import threading
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as mp_shm
+except ImportError:  # pragma: no cover
+    mp_shm = None  # type: ignore[assignment]
+
+logger = logging.getLogger(__name__)
+
+#: Arrays smaller than this cross the boundary via plain pickle: below
+#: it, segment bookkeeping costs more than the copy it saves.
+DEFAULT_MIN_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Picklable pointer to an ndarray parked in a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class ShmLease:
+    """Creator-side ownership of the segments backing one payload.
+
+    :meth:`release` closes and unlinks every segment; it is idempotent
+    and thread-safe (the future done-callback may race a direct call).
+    """
+
+    def __init__(self, segments: List[Any]) -> None:
+        self._segments = list(segments)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def release(self) -> None:
+        with self._lock:
+            segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
+def shm_available() -> bool:
+    """Whether this interpreter can create *and* attach shared memory."""
+    if mp_shm is None:  # pragma: no cover - import guard
+        return False
+    try:
+        segment = mp_shm.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):  # pragma: no cover - restricted env
+        return False
+    try:
+        attached = mp_shm.SharedMemory(name=segment.name)
+        attached.close()
+        return True
+    except (OSError, ValueError):  # pragma: no cover - restricted env
+        return False
+    finally:
+        segment.close()
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+class ShmTransport:
+    """Moves large ndarrays through shared memory, pickling the rest.
+
+    Parameters
+    ----------
+    min_bytes:
+        Smallest array (in bytes) worth a shared segment.
+    enabled:
+        ``False`` turns the transport into a no-op (pure pickle), the
+        switch behind serve/eval ``--no-shm`` style knobs.
+    """
+
+    def __init__(
+        self,
+        min_bytes: int = DEFAULT_MIN_BYTES,
+        enabled: bool = True,
+    ) -> None:
+        self.min_bytes = int(min_bytes)
+        self.enabled = bool(enabled)
+        self._available: Optional[bool] = None
+
+    @property
+    def available(self) -> bool:
+        """Probe (once) whether shared memory actually works here."""
+        if not self.enabled:
+            return False
+        if self._available is None:
+            self._available = shm_available()
+            if not self._available:
+                logger.info(
+                    "shared memory unavailable; using pickle transport"
+                )
+        return self._available
+
+    def encode(self, payload: Any) -> Tuple[Any, ShmLease]:
+        """Rewrite ``payload`` with large arrays parked in segments.
+
+        Returns the rewritten payload plus the :class:`ShmLease` owning
+        every created segment.  On any failure mid-encode, everything
+        created so far is released and the *original* payload comes
+        back with an empty lease — the pickle fallback.
+        """
+        segments: List[Any] = []
+        if not self.available:
+            return payload, ShmLease(segments)
+        try:
+            encoded = self._encode_value(payload, segments)
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "shared-memory encode failed (%s: %s); "
+                "falling back to pickle",
+                type(error).__name__,
+                error,
+            )
+            ShmLease(segments).release()
+            return payload, ShmLease([])
+        return encoded, ShmLease(segments)
+
+    def _encode_value(self, value: Any, segments: List[Any]) -> Any:
+        if isinstance(value, np.ndarray):
+            if value.nbytes < self.min_bytes or value.dtype.hasobject:
+                return value
+            array = np.ascontiguousarray(value)
+            segment = mp_shm.SharedMemory(create=True, size=array.nbytes)
+            segments.append(segment)
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[...] = array
+            return ShmRef(segment.name, array.shape, str(array.dtype))
+        if isinstance(value, tuple):
+            encoded = [
+                self._encode_value(item, segments) for item in value
+            ]
+            if all(new is old for new, old in zip(encoded, value)):
+                return value
+            if hasattr(value, "_fields"):  # namedtuple
+                return type(value)(*encoded)
+            return tuple(encoded)
+        if isinstance(value, list):
+            encoded = [
+                self._encode_value(item, segments) for item in value
+            ]
+            if all(new is old for new, old in zip(encoded, value)):
+                return value
+            return encoded
+        if isinstance(value, dict):
+            encoded_map = {
+                key: self._encode_value(item, segments)
+                for key, item in value.items()
+            }
+            if all(
+                encoded_map[key] is value[key] for key in encoded_map
+            ):
+                return value
+            return encoded_map
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            changed = {}
+            for spec in dataclasses.fields(value):
+                old = getattr(value, spec.name)
+                new = self._encode_value(old, segments)
+                if new is not old:
+                    changed[spec.name] = new
+            if not changed:
+                return value
+            # copy + setattr instead of dataclasses.replace: replace()
+            # re-runs __post_init__, which would choke on a ShmRef where
+            # it expects an array (e.g. VerificationRequest's coercion).
+            clone = copy.copy(value)
+            for name, new in changed.items():
+                object.__setattr__(clone, name, new)
+            return clone
+        return value
+
+
+def decode_payload(value: Any) -> Any:
+    """Materialize every :class:`ShmRef` in ``value`` (worker side).
+
+    Each referenced segment is attached, copied into a private array,
+    and closed immediately — never unlinked (the creator owns that).
+    Values without refs pass through untouched, so decoding a plain
+    pickled payload is a cheap identity walk.
+    """
+    if isinstance(value, ShmRef):
+        if mp_shm is None:  # pragma: no cover - import guard
+            raise OSError("shared memory unavailable in this worker")
+        # Note: attaching re-registers the name with the (shared)
+        # resource tracker; that is harmless — registration is
+        # set-based, and the creator's unlink() unregisters it.
+        segment = mp_shm.SharedMemory(name=value.name)
+        try:
+            view = np.ndarray(
+                value.shape, dtype=np.dtype(value.dtype), buffer=segment.buf
+            )
+            return np.array(view)
+        finally:
+            segment.close()
+    if isinstance(value, tuple):
+        decoded = [decode_payload(item) for item in value]
+        if all(new is old for new, old in zip(decoded, value)):
+            return value
+        if hasattr(value, "_fields"):  # namedtuple
+            return type(value)(*decoded)
+        return tuple(decoded)
+    if isinstance(value, list):
+        decoded = [decode_payload(item) for item in value]
+        if all(new is old for new, old in zip(decoded, value)):
+            return value
+        return decoded
+    if isinstance(value, dict):
+        decoded_map = {
+            key: decode_payload(item) for key, item in value.items()
+        }
+        if all(decoded_map[key] is value[key] for key in decoded_map):
+            return value
+        return decoded_map
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        changed = {}
+        for spec in dataclasses.fields(value):
+            old = getattr(value, spec.name)
+            new = decode_payload(old)
+            if new is not old:
+                changed[spec.name] = new
+        if not changed:
+            return value
+        clone = copy.copy(value)
+        for name, new in changed.items():
+            object.__setattr__(clone, name, new)
+        return clone
+    return value

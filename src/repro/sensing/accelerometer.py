@@ -18,14 +18,15 @@ Four phenomena of commercial wearable accelerometers are reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.dsp.filters import butter_lowpass
-from repro.dsp.resample import alias_decimate
+from repro.dsp.filters import butter_lowpass, butter_lowpass_batch
+from repro.dsp.resample import alias_decimate, alias_decimate_batch
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import ensure_1d, ensure_positive
+from repro.utils.validation import ensure_1d, ensure_2d, ensure_positive
 
 #: Default accelerometer sampling rate (Hz) of commercial wearables.
 VIBRATION_SAMPLE_RATE = 200.0
@@ -42,8 +43,8 @@ class AccelerometerSpec:
     base_noise_rms:
         Sensor self-noise RMS (output units), always present.
     low_freq_noise_coeff:
-        Extra injected-noise RMS per unit RMS of low-frequency (< 500 Hz)
-        drive content — phenomenon 3 above.
+        Extra injected-noise RMS per unit RMS of low-frequency drive
+        content (below :attr:`low_freq_cutoff_hz`) — phenomenon 3 above.
     low_freq_cutoff_hz:
         Boundary below which drive content counts as "low-frequency" for
         noise injection.
@@ -163,6 +164,83 @@ class Accelerometer:
         sampled = sampled + noise_rms_t * generator.standard_normal(
             sampled.size
         )
+
+        # Phenomenon 4: quantization.
+        if spec.lsb > 0:
+            sampled = np.round(sampled / spec.lsb) * spec.lsb
+        return sampled
+
+    def sense_batch(
+        self,
+        vibration_fields: np.ndarray,
+        field_rate: float,
+        drive_audios: np.ndarray,
+        rngs: Optional[Sequence[SeedLike]] = None,
+    ) -> np.ndarray:
+        """:meth:`sense` over a ``(batch, time)`` stack of fields.
+
+        ``rngs[i]`` supplies the noise stream for row ``i`` — the same
+        stream a sequential ``sense(vibration_fields[i], ...,
+        rng=rngs[i])`` call would consume.  All deterministic stages
+        (envelope filters, decimation, noise-level synthesis,
+        quantization) run vectorized along the last axis; only the
+        Gaussian noise draws happen per item, preserving bitwise parity
+        with the sequential path row by row.
+        """
+        fields = ensure_2d(vibration_fields, "vibration_fields")
+        drives = ensure_2d(drive_audios, "drive_audios")
+        if fields.shape != drives.shape:
+            raise ConfigurationError(
+                f"vibration_fields {fields.shape} and drive_audios "
+                f"{drives.shape} must have matching shapes"
+            )
+        ensure_positive(field_rate, "field_rate")
+        n_items = fields.shape[0]
+        if rngs is None:
+            rngs = [None] * n_items
+        if len(rngs) != n_items:
+            raise ConfigurationError(
+                f"need one rng per field: got {len(rngs)} rngs for "
+                f"{n_items} fields"
+            )
+        spec = self.spec
+
+        # Phenomenon 2: envelope-following near-DC response.
+        envelope = butter_lowpass_batch(
+            np.abs(drives), field_rate, spec.dc_bandwidth_hz, order=6
+        )
+        analog = fields + spec.dc_sensitivity * envelope
+
+        # Phenomenon 1: raw decimation with aliasing.
+        sampled = alias_decimate_batch(analog, field_rate, spec.sample_rate)
+
+        # Phenomenon 3: low-frequency drive content injects amplifier
+        # noise tracking the instantaneous low-frequency envelope.
+        low_content = butter_lowpass_batch(
+            drives, field_rate, spec.low_freq_cutoff_hz, order=4
+        )
+        envelope_lf = butter_lowpass_batch(
+            np.abs(low_content), field_rate, 8.0, order=2
+        )
+        envelope_lf = np.clip(envelope_lf, 0.0, None)
+        envelope_sampled = alias_decimate_batch(
+            envelope_lf, field_rate, spec.sample_rate
+        )
+        envelope_rms = np.sqrt(np.pi / 2.0) * envelope_sampled
+        reference = spec.noise_envelope_reference
+        scaled = (
+            reference
+            * (envelope_rms / reference) ** spec.noise_envelope_exponent
+        )
+        noise_rms_t = spec.base_noise_rms + (
+            spec.low_freq_noise_coeff * scaled
+        )
+        noise = np.empty_like(sampled)
+        for index, rng in enumerate(rngs):
+            noise[index] = as_generator(rng).standard_normal(
+                sampled.shape[-1]
+            )
+        sampled = sampled + noise_rms_t * noise
 
         # Phenomenon 4: quantization.
         if spec.lsb > 0:

@@ -13,11 +13,13 @@ signals ... meanwhile, it captures the high-frequency audio signals"
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_2d
 
 
 @dataclass(frozen=True)
@@ -98,6 +100,47 @@ class ConductionPath:
         if self.response_jitter_db > 0:
             gain = gain * self._response_ripple(frequencies, rng)
         return np.fft.irfft(spectrum * gain, n=samples.size)
+
+    def apply_batch(
+        self,
+        signals: np.ndarray,
+        sample_rate: float,
+        rngs: Optional[Sequence[SeedLike]] = None,
+    ) -> np.ndarray:
+        """:meth:`apply` over a ``(batch, time)`` stack of drive signals.
+
+        ``rngs[i]`` supplies the per-replay ripple randomness for row
+        ``i`` — the same stream a sequential ``apply(signals[i],
+        rng=rngs[i])`` call would consume, so each row is bitwise
+        identical to the sequential path.  The FFT pair runs once over
+        the whole stack; only the (cheap) ripple parameters are drawn
+        per item.
+        """
+        samples = ensure_2d(signals, "signals")
+        n_items = samples.shape[0]
+        if rngs is None:
+            rngs = [None] * n_items
+        if len(rngs) != n_items:
+            raise ConfigurationError(
+                f"need one rng per signal: got {len(rngs)} rngs for "
+                f"{n_items} signals"
+            )
+        spectrum = np.fft.rfft(samples, axis=-1)
+        frequencies = np.fft.rfftfreq(
+            samples.shape[-1], d=1.0 / sample_rate
+        )
+        gain = self.response(frequencies)
+        if self.response_jitter_db > 0:
+            gains = np.empty((n_items, frequencies.size))
+            for index, rng in enumerate(rngs):
+                gains[index] = gain * self._response_ripple(
+                    frequencies, rng
+                )
+        else:
+            gains = gain[np.newaxis, :]
+        return np.fft.irfft(
+            spectrum * gains, n=samples.shape[-1], axis=-1
+        )
 
     def _response_ripple(
         self,

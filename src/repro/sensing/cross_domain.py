@@ -9,6 +9,8 @@ motion.  The output is the vibration-domain signal the defense analyzes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
 import numpy as np
 
 from repro.acoustics.loudspeaker import (
@@ -117,6 +119,99 @@ class CrossDomainSensor:
                 rng=child_rng(generator, "body"),
             )
         return vibration
+
+    def convert_batch(
+        self,
+        audios: Sequence[np.ndarray],
+        audio_rate: float,
+        rngs: Optional[Sequence[SeedLike]] = None,
+        include_body_motion: bool = False,
+    ) -> List[np.ndarray]:
+        """Replay a batch of recordings; vectorize the whole §IV-A chain.
+
+        ``rngs[i]`` is the seed/generator that a sequential
+        ``convert(audios[i], audio_rate, rng=rngs[i], ...)`` call would
+        receive; the per-item child streams (``strap`` → ``sense`` →
+        ``body``) are derived in exactly the sequential order, so item
+        ``i`` of the result is **bitwise identical** to the sequential
+        path.
+
+        Recordings of equal length are grouped into dense ``(batch,
+        time)`` stacks and pushed through :meth:`Loudspeaker.play_batch`,
+        :meth:`ConductionPath.apply_batch`, and
+        :meth:`Accelerometer.sense_batch` in one shot each.  Grouping by
+        *exact* length (instead of right-padding to the batch maximum)
+        is what preserves bitwise parity: padding would change the FFT
+        length and the ``sosfiltfilt`` edge extension, perturbing every
+        sample in the padded rows.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            Vibration signals at :attr:`vibration_rate`, one per input,
+            in input order.
+        """
+        ensure_positive(audio_rate, "audio_rate")
+        items = [ensure_1d(audio, "audio") for audio in audios]
+        if rngs is None:
+            rngs = [None] * len(items)
+        if len(rngs) != len(items):
+            raise ValueError(
+                f"need one rng per audio: got {len(rngs)} rngs for "
+                f"{len(items)} audios"
+            )
+        want_body = include_body_motion and self.body_motion_intensity > 0
+
+        # Derive every per-item child stream up front, in the exact
+        # order the sequential path consumes parent draws: strap, sense,
+        # then (conditionally) body.
+        strap_rngs: List[np.random.Generator] = []
+        sense_rngs: List[np.random.Generator] = []
+        body_rngs: List[Optional[np.random.Generator]] = []
+        for rng in rngs:
+            generator = as_generator(rng)
+            strap_rngs.append(child_rng(generator, "strap"))
+            sense_rngs.append(child_rng(generator, "sense"))
+            body_rngs.append(
+                child_rng(generator, "body") if want_body else None
+            )
+
+        buckets: Dict[int, List[int]] = {}
+        for index, samples in enumerate(items):
+            buckets.setdefault(samples.size, []).append(index)
+
+        results: List[Optional[np.ndarray]] = [None] * len(items)
+        for indices in buckets.values():
+            stack = np.stack([items[index] for index in indices])
+            played = self._speaker.play_batch(stack, audio_rate)
+            coupled = self.conduction.apply_batch(
+                played,
+                audio_rate,
+                rngs=[strap_rngs[index] for index in indices],
+            )
+            vibrations = self._accelerometer.sense_batch(
+                coupled,
+                audio_rate,
+                drive_audios=stack,
+                rngs=[sense_rngs[index] for index in indices],
+            )
+            for row, index in enumerate(indices):
+                results[index] = vibrations[row]
+
+        converted = [
+            vibration for vibration in results if vibration is not None
+        ]
+        if len(converted) != len(items):  # pragma: no cover - invariant
+            raise RuntimeError("convert_batch dropped an item")
+        if want_body:
+            for index, vibration in enumerate(converted):
+                converted[index] = vibration + body_motion_interference(
+                    vibration.size,
+                    self.vibration_rate,
+                    intensity=self.body_motion_intensity,
+                    rng=body_rngs[index],
+                )
+        return converted
 
     def chirp_response(
         self,

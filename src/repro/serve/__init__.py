@@ -10,6 +10,8 @@ startup.  See DESIGN.md § "Online serving architecture".
 
 from repro.serve.batching import (
     Batch,
+    BatchControllerStats,
+    BatchSizeController,
     BatchingConfig,
     MicroBatchScheduler,
 )
@@ -38,6 +40,8 @@ from repro.serve.workers import PipelineSpec, WarmWorkerPool
 __all__ = [
     "BackpressurePolicy",
     "Batch",
+    "BatchControllerStats",
+    "BatchSizeController",
     "BatchingConfig",
     "BoundedRequestQueue",
     "LatencySummary",

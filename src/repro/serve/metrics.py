@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.runtime import StageEvent
+from repro.serve.batching import BatchControllerStats
 from repro.utils.stats import (
     REPORTED_PERCENTILES as _REPORTED_PERCENTILES,
     percentile_values,
@@ -108,6 +109,9 @@ class ServiceMetrics:
     #: streams — deadline skips, full-recording degrades, and runtime
     #: ladder demotions, all through one protocol.
     stage_fallbacks: Mapping[str, int] = field(default_factory=dict)
+    #: Adaptive batch-size controller snapshot (``None`` when the
+    #: service runs with a fixed batch size).
+    batch_controller: Optional[BatchControllerStats] = None
 
     @property
     def n_resolved(self) -> int:
@@ -202,7 +206,10 @@ class MetricsCollector:
                 )
 
     def snapshot(
-        self, queue_depth: int = 0, n_pending: int = 0
+        self,
+        queue_depth: int = 0,
+        n_pending: int = 0,
+        batch_controller: Optional[BatchControllerStats] = None,
     ) -> ServiceMetrics:
         """Freeze the current counters into a :class:`ServiceMetrics`."""
         with self._lock:
@@ -246,4 +253,5 @@ class MetricsCollector:
                     else 0.0
                 ),
                 stage_fallbacks=dict(self._stage_fallbacks),
+                batch_controller=batch_controller,
             )

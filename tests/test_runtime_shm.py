@@ -1,0 +1,202 @@
+"""Shared-memory transport: encode/decode round-trips, lease
+lifecycle, graceful pickle fallback, and end-to-end process-pool use."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    PROCESS,
+    FallbackPolicy,
+    Runtime,
+    ShmRef,
+    ShmTransport,
+    decode_payload,
+    shm_available,
+)
+from repro.serve.request import VerificationRequest
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unavailable"
+)
+
+BIG = 64 * 1024 // 8  # elements: exactly DEFAULT_MIN_BYTES of float64
+
+
+def big_array(seed=0, n=BIG):
+    return np.random.default_rng(seed).normal(size=n)
+
+
+def _checksum(payload):
+    """Worker-side probe: decode happened transparently."""
+    return float(np.sum(payload["x"])) + payload["tag"]
+
+
+@dataclass(frozen=True)
+class FrozenHolder:
+    label: str
+    data: np.ndarray
+
+
+class TestEncodeDecode:
+    def test_large_array_round_trips(self):
+        transport = ShmTransport()
+        array = big_array(1)
+        encoded, lease = transport.encode(array)
+        try:
+            assert isinstance(encoded, ShmRef)
+            assert len(lease) == 1
+            decoded = decode_payload(encoded)
+            np.testing.assert_array_equal(decoded, array)
+            # The decoded copy is private: the segment can go away.
+        finally:
+            lease.release()
+
+    def test_small_array_passes_through(self):
+        transport = ShmTransport()
+        array = np.arange(16, dtype=np.float64)
+        encoded, lease = transport.encode(array)
+        assert encoded is array
+        assert len(lease) == 0
+        lease.release()
+
+    def test_nested_containers(self):
+        transport = ShmTransport()
+        payload = {
+            "arrays": [big_array(2), big_array(3)],
+            "pair": (big_array(4), "label"),
+            "scalar": 7,
+        }
+        encoded, lease = transport.encode(payload)
+        try:
+            assert isinstance(encoded["arrays"][0], ShmRef)
+            assert isinstance(encoded["pair"][0], ShmRef)
+            assert encoded["scalar"] == 7
+            decoded = decode_payload(encoded)
+            np.testing.assert_array_equal(
+                decoded["arrays"][1], payload["arrays"][1]
+            )
+            np.testing.assert_array_equal(
+                decoded["pair"][0], payload["pair"][0]
+            )
+        finally:
+            lease.release()
+
+    def test_dataclass_with_post_init_round_trips(self):
+        # VerificationRequest.__post_init__ coerces arrays; the encoder
+        # must bypass it (copy + setattr) or a ShmRef would be coerced.
+        transport = ShmTransport()
+        request = VerificationRequest(
+            va_audio=big_array(5),
+            wearable_audio=big_array(6),
+            seed=5,
+            request_id="req-shm",
+        )
+        encoded, lease = transport.encode(request)
+        try:
+            assert isinstance(encoded.va_audio, ShmRef)
+            assert encoded.request_id == "req-shm"
+            decoded = decode_payload(encoded)
+            np.testing.assert_array_equal(
+                decoded.va_audio, request.va_audio
+            )
+            np.testing.assert_array_equal(
+                decoded.wearable_audio, request.wearable_audio
+            )
+        finally:
+            lease.release()
+
+    def test_frozen_dataclass_round_trips(self):
+        transport = ShmTransport()
+        holder = FrozenHolder(label="a", data=big_array(7))
+        encoded, lease = transport.encode(holder)
+        try:
+            assert isinstance(encoded.data, ShmRef)
+            decoded = decode_payload(encoded)
+            np.testing.assert_array_equal(decoded.data, holder.data)
+        finally:
+            lease.release()
+
+    def test_plain_payload_is_identity(self):
+        payload = {"a": [1, 2], "b": "text"}
+        assert decode_payload(payload) is payload
+
+
+class TestLease:
+    def test_release_unlinks_segment(self):
+        transport = ShmTransport()
+        encoded, lease = transport.encode(big_array(8))
+        name = encoded.name
+        lease.release()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_release_is_idempotent(self):
+        transport = ShmTransport()
+        _, lease = transport.encode(big_array(9))
+        lease.release()
+        lease.release()  # second call must be a no-op
+        assert len(lease) == 0
+
+
+class TestFallback:
+    def test_disabled_transport_is_pure_pickle(self):
+        transport = ShmTransport(enabled=False)
+        array = big_array(10)
+        encoded, lease = transport.encode(array)
+        assert encoded is array
+        assert len(lease) == 0
+        assert transport.available is False
+
+    def test_min_bytes_threshold_respected(self):
+        transport = ShmTransport(min_bytes=10 * 1024 * 1024)
+        encoded, lease = transport.encode(big_array(11))
+        assert not isinstance(encoded, ShmRef)
+        assert len(lease) == 0
+
+
+class TestRuntimeIntegration:
+    def test_process_pool_round_trip(self):
+        runtime = Runtime(
+            PROCESS,
+            n_workers=2,
+            fallback=FallbackPolicy(ladder=(PROCESS, "inline")),
+            transport=ShmTransport(),
+        )
+        try:
+            payloads = [
+                {"x": big_array(20 + index), "tag": index}
+                for index in range(4)
+            ]
+            results = runtime.map_units(_checksum, payloads)
+            expected = [
+                float(np.sum(payload["x"])) + payload["tag"]
+                for payload in payloads
+            ]
+            assert results == pytest.approx(expected)
+        finally:
+            runtime.shutdown()
+
+    def test_no_leaked_segments_after_map(self, tmp_path):
+        import glob
+
+        before = set(glob.glob("/dev/shm/psm_*"))
+        runtime = Runtime(
+            PROCESS,
+            n_workers=2,
+            fallback=FallbackPolicy(ladder=(PROCESS, "inline")),
+            transport=ShmTransport(),
+        )
+        try:
+            payloads = [
+                {"x": big_array(30 + index), "tag": 0}
+                for index in range(3)
+            ]
+            runtime.map_units(_checksum, payloads)
+        finally:
+            runtime.shutdown()
+        after = set(glob.glob("/dev/shm/psm_*"))
+        assert after - before == set()
