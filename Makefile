@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test test-fast smoke serve-smoke store-smoke \
 	perf-smoke sense-smoke runtime-smoke segmenter-smoke fleet-smoke \
-	redteam-smoke bench examples clean
+	redteam-smoke scenario-smoke bench examples clean
 
 # Artifact-store directory for store-smoke.  Deliberately NOT removed
 # by the target: CI restores it via actions/cache so the second run —
@@ -108,6 +108,20 @@ redteam-smoke:
 		--population 1 --bands 4 --slices 2 --probe-episodes 1 \
 		--eval-episodes 4 --workers 1 --executor inline --seed 3 \
 		--harden
+
+# Scenario smoke: the composable channel layer and the scenario
+# registry.  Unit tests pin bitwise chain parity and the registry
+# round-trip; then the two proof packs run end to end through the
+# evaluate CLI, and the quick scenario matrix regenerates
+# benchmarks/results/scenario_matrix.txt over every registered pack.
+scenario-smoke:
+	$(PYTHON) -m pytest tests/test_channels.py tests/test_scenarios.py -q
+	$(PYTHON) -m repro evaluate --scenario ultrasound-solid \
+		--segmenter rd --commands 1 --attacks 1 --workers 2
+	$(PYTHON) -m repro evaluate --scenario metamaterial-barrier \
+		--segmenter rd --commands 1 --attacks 1 --workers 2
+	REPRO_BENCH_QUICK=1 $(PYTHON) -m pytest \
+		benchmarks/bench_scenario_matrix.py --benchmark-only -q
 
 # Perf smoke: the vectorized micro-batch path must beat the
 # sequential loop at batch 8 (exits non-zero otherwise).

@@ -13,10 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit, run_once
-from repro.acoustics.barrier import Barrier
-from repro.acoustics.loudspeaker import Loudspeaker, SOUND_BAR
+from repro.acoustics.loudspeaker import SOUND_BAR
 from repro.acoustics.materials import GLASS_WINDOW
 from repro.acoustics.spl import db_to_gain
+from repro.channels import BarrierStage, LoudspeakerStage, PropagationChannel
 from repro.dsp.spectrum import mean_fft_magnitude
 from repro.eval.reporting import format_table, sparkline
 from repro.phonemes.corpus import SyntheticCorpus
@@ -29,8 +29,12 @@ N_FFT = 4096
 
 def _spectra():
     corpus = SyntheticCorpus(n_speakers=10, seed=3000)
-    barrier = Barrier(GLASS_WINDOW)
-    loudspeaker = Loudspeaker(SOUND_BAR)
+    playback = PropagationChannel(
+        (LoudspeakerStage(SOUND_BAR),), name="playback"
+    )
+    barrier = PropagationChannel(
+        (BarrierStage(material=GLASS_WINDOW),), name="barrier"
+    )
     rng = np.random.default_rng(3001)
     gain = db_to_gain(10.0)  # 75 dB playback
     results = {}
@@ -40,11 +44,11 @@ def _spectra():
             duration_s=0.35,
         )
         before = [
-            loudspeaker.play(seg.waveform * gain, RATE)
+            playback.apply(seg.waveform * gain, RATE)
             for seg in segments
         ]
         after = [
-            barrier.transmit(b, RATE, rng=child_rng(rng, f"{symbol}{i}"))
+            barrier.apply(b, RATE, rng=child_rng(rng, f"{symbol}{i}"))
             for i, b in enumerate(before)
         ]
         freqs, mag_before = mean_fft_magnitude(before, RATE, N_FFT)

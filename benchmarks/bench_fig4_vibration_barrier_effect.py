@@ -11,12 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import emit, run_once
-from repro.acoustics.barrier import Barrier
-from repro.acoustics.loudspeaker import Loudspeaker, SOUND_BAR
+from repro.acoustics.loudspeaker import SOUND_BAR
 from repro.acoustics.materials import GLASS_WINDOW
 from repro.acoustics.microphone import Microphone, SMART_SPEAKER_MIC
 from repro.acoustics.propagation import propagate
 from repro.acoustics.spl import db_to_gain
+from repro.channels import BarrierStage, LoudspeakerStage, PropagationChannel
 from repro.dsp.spectrum import mean_fft_magnitude
 from repro.eval.reporting import format_table, sparkline
 from repro.phonemes.corpus import SyntheticCorpus
@@ -30,8 +30,12 @@ VIB_N_FFT = 128
 
 def _vibration_spectra():
     corpus = SyntheticCorpus(n_speakers=10, seed=4000)
-    barrier = Barrier(GLASS_WINDOW)
-    loudspeaker = Loudspeaker(SOUND_BAR)
+    playback = PropagationChannel(
+        (LoudspeakerStage(SOUND_BAR),), name="playback"
+    )
+    barrier = PropagationChannel(
+        (BarrierStage(material=GLASS_WINDOW),), name="barrier"
+    )
     microphone = Microphone(SMART_SPEAKER_MIC)
     sensor = CrossDomainSensor()
     rng = np.random.default_rng(4001)
@@ -44,14 +48,14 @@ def _vibration_spectra():
         )
         vib_before, vib_after = [], []
         for index, segment in enumerate(segments):
-            played = loudspeaker.play(segment.waveform * gain, RATE)
+            played = playback.apply(segment.waveform * gain, RATE)
             direct = microphone.capture(
                 propagate(played, RATE, 2.0), RATE,
                 rng=child_rng(rng, f"d{symbol}{index}"),
             )
             thru = microphone.capture(
                 propagate(
-                    barrier.transmit(
+                    barrier.apply(
                         played, RATE,
                         rng=child_rng(rng, f"b{symbol}{index}"),
                     ),

@@ -12,7 +12,12 @@ from repro.acoustics.materials import (
     GLASS_WALL,
     GLASS_WINDOW,
     MATERIALS,
+    META_NOTCH_HF,
+    META_NOTCH_SPEECH,
+    MetamaterialBarrier,
     WOODEN_DOOR,
+    get_material,
+    list_materials,
 )
 from repro.acoustics.barrier import Barrier
 from repro.acoustics.spl import (
@@ -35,6 +40,11 @@ __all__ = [
     "WOODEN_DOOR",
     "BRICK_WALL",
     "MATERIALS",
+    "META_NOTCH_SPEECH",
+    "META_NOTCH_HF",
+    "MetamaterialBarrier",
+    "get_material",
+    "list_materials",
     "Barrier",
     "REFERENCE_RMS_AT_65_DB",
     "db_to_gain",

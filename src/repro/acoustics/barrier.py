@@ -51,12 +51,16 @@ class Barrier:
         self.resonance_db = float(resonance_db)
 
     def transmission_gain(self, frequencies: np.ndarray) -> np.ndarray:
-        """Deterministic amplitude gain of the barrier at each frequency."""
-        loss_db = (
-            self.material.transmission_loss_db(frequencies)
-            * self.thickness_scale
+        """Deterministic amplitude gain of the barrier at each frequency.
+
+        Delegates to :meth:`BarrierMaterial.transmission_gain` — the
+        single implementation of the loss→gain conversion — so material
+        subclasses (metamaterial notches) shape every channel built on
+        this barrier.
+        """
+        return self.material.transmission_gain(
+            frequencies, thickness_scale=self.thickness_scale
         )
-        return 10.0 ** (-loss_db / 20.0)
 
     def transmit(
         self,

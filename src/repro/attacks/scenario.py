@@ -19,7 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.acoustics.barrier import Barrier
-from repro.acoustics.loudspeaker import SOUND_BAR, Loudspeaker, LoudspeakerSpec
+from repro.acoustics.loudspeaker import SOUND_BAR, LoudspeakerSpec
 from repro.acoustics.microphone import (
     Microphone,
     MicrophoneSpec,
@@ -30,6 +30,8 @@ from repro.acoustics.propagation import propagate
 from repro.acoustics.room import Room, RoomConfig
 from repro.acoustics.spl import scale_to_spl
 from repro.attacks.base import AttackSound
+from repro.channels.graph import PropagationChannel
+from repro.channels.stages import BarrierStage, LoudspeakerStage
 from repro.errors import ConfigurationError
 from repro.phonemes.corpus import Utterance
 from repro.utils.rng import SeedLike, as_generator, child_rng
@@ -59,7 +61,17 @@ class ThruBarrierChannel:
 
     def __post_init__(self) -> None:
         ensure_positive(self.speaker_to_barrier_m, "speaker_to_barrier_m")
-        self._loudspeaker = Loudspeaker(self.loudspeaker_spec)
+        self._channel = PropagationChannel(
+            stages=(
+                LoudspeakerStage(self.loudspeaker_spec),
+                BarrierStage(
+                    material=self.barrier.material,
+                    thickness_scale=self.barrier.thickness_scale,
+                    resonance_db=self.barrier.resonance_db,
+                ),
+            ),
+            name="thru-barrier",
+        )
 
     def transmit(
         self,
@@ -70,8 +82,7 @@ class ThruBarrierChannel:
     ) -> np.ndarray:
         """Sound field just inside the barrier for playback at ``spl_db``."""
         calibrated = scale_to_spl(waveform, spl_db)
-        played = self._loudspeaker.play(calibrated, sample_rate)
-        return self.barrier.transmit(played, sample_rate, rng=rng)
+        return self._channel.apply(calibrated, sample_rate, rng=rng)
 
 
 @dataclass
@@ -112,6 +123,12 @@ class AttackScenario:
     wifi_delay_s: float = 0.1
     wifi_jitter_s: float = 0.03
     lead_silence_s: float = 0.25
+    #: Override for the adversary's injection channel — any object with
+    #: ``transmit(waveform, sample_rate, spl_db, rng)``, e.g. a
+    #: :class:`repro.channels.InjectionChannel` from a scenario pack.
+    #: ``None`` builds the classic thru-barrier channel from the room's
+    #: barrier material.
+    attack_channel: Optional[object] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -124,9 +141,12 @@ class AttackScenario:
         if self.wifi_delay_s < 0 or self.wifi_jitter_s < 0:
             raise ConfigurationError("WiFi delay parameters must be >= 0")
         self.room = Room(self.room_config)
-        self.channel = ThruBarrierChannel(
-            barrier=Barrier(self.room_config.barrier)
-        )
+        if self.attack_channel is not None:
+            self.channel = self.attack_channel
+        else:
+            self.channel = ThruBarrierChannel(
+                barrier=Barrier(self.room_config.barrier)
+            )
         self._va_microphone = Microphone(self.va_mic)
         self._wearable_microphone = Microphone(self.wearable_mic)
 

@@ -1,0 +1,42 @@
+"""Composable propagation-channel layer.
+
+Every acoustic path in the system — the adversary's loudspeaker → barrier
+injection, the wearable's speaker → conduction → accelerometer replay —
+is a :class:`PropagationChannel`: an ordered tuple of
+:class:`ChannelStage` objects with a declared randomness policy per
+stage.  Scenario packs (``repro.scenarios``) compose new channels from
+these stages without editing any core code.
+"""
+
+from repro.channels.graph import InjectionChannel, PropagationChannel
+from repro.channels.stages import (
+    PASSTHROUGH,
+    ULTRASONIC_TRANSDUCER,
+    AccelerometerStage,
+    AirPropagationStage,
+    BarrierStage,
+    ChannelStage,
+    ConductionStage,
+    LoudspeakerStage,
+    NonlinearDemodulationStage,
+    SolidConductionStage,
+    StageBase,
+    UltrasoundCarrierStage,
+)
+
+__all__ = [
+    "PASSTHROUGH",
+    "ULTRASONIC_TRANSDUCER",
+    "AccelerometerStage",
+    "AirPropagationStage",
+    "BarrierStage",
+    "ChannelStage",
+    "ConductionStage",
+    "InjectionChannel",
+    "LoudspeakerStage",
+    "NonlinearDemodulationStage",
+    "PropagationChannel",
+    "SolidConductionStage",
+    "StageBase",
+    "UltrasoundCarrierStage",
+]

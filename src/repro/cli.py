@@ -41,6 +41,8 @@ from typing import List, Optional
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.acoustics.materials import list_materials
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -71,7 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "attack",
+        nargs="?",
+        default=None,
         choices=["random", "replay", "synthesis", "hidden_voice"],
+        help=(
+            "attack kind to evaluate (optional with --scenario, "
+            "which carries its own default)"
+        ),
+    )
+    evaluate.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help=(
+            "registered scenario pack: attack x material x channel "
+            "graph x detector config under one name (e.g. "
+            "ultrasound-solid, metamaterial-barrier; an unknown name "
+            "errors with the full list)"
+        ),
+    )
+    evaluate.add_argument(
+        "--material", default=None, metavar="KEY",
+        help=(
+            "override the barrier material in every room "
+            f"(one of: {', '.join(list_materials())})"
+        ),
     )
     evaluate.add_argument("--seed", type=int, default=0)
     evaluate.add_argument("--commands", type=int, default=3)
@@ -182,6 +206,15 @@ def _build_parser() -> argparse.ArgumentParser:
                 "segmentation), fast (BLSTM, tiny training set), paper "
                 "(BLSTM, full recipe; slow startup), rd (training-free "
                 "rate-distortion; instant startup, no store needed)"
+            ),
+        )
+        serving.add_argument(
+            "--scenario", default=None, metavar="NAME",
+            help=(
+                "registered scenario pack workers build their sensor "
+                "and detector config from (e.g. ultrasound-solid, "
+                "metamaterial-barrier); part of the batch-"
+                "compatibility fingerprint"
             ),
         )
         serving.add_argument(
@@ -350,11 +383,49 @@ def _build_eval_segmenter(backend: str, seed: int):
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from repro.attacks.base import AttackKind
+    from repro.errors import ConfigurationError
     from repro.eval.campaign import CampaignConfig, DetectorBank
     from repro.eval.experiment import run_attack_experiment
     from repro.eval.reporting import format_runner_stats
     from repro.eval.runner import CampaignRunner
+
+    spec = None
+    if args.scenario is not None:
+        from repro.scenarios import get_scenario
+
+        try:
+            spec = get_scenario(args.scenario)
+        except ConfigurationError as error:
+            raise SystemExit(f"error: {error}") from None
+    attack_name = args.attack or (spec.attack if spec else None)
+    if attack_name is None:
+        raise SystemExit(
+            "error: give an attack kind or --scenario NAME"
+        )
+    rooms = spec.rooms() if spec is not None else None
+    if args.material is not None and spec is not None and spec.material:
+        # Workers re-resolve the scenario by name and re-apply its
+        # material, so a CLI override could never win; refuse loudly
+        # instead of losing silently.
+        raise SystemExit(
+            f"error: scenario {spec.name!r} pins material "
+            f"{spec.material!r}; --material cannot override it"
+        )
+    if args.material is not None:
+        from repro.acoustics.materials import get_material
+        from repro.eval.rooms import ROOMS
+
+        try:
+            override = get_material(args.material)
+        except ConfigurationError as error:
+            raise SystemExit(f"error: {error}") from None
+        rooms = [
+            replace(room, barrier=override)
+            for room in (rooms if rooms is not None else ROOMS.values())
+        ]
 
     workers = _resolve_workers(args.workers)
     segmenter_backend = getattr(args, "segmenter", "paper")
@@ -362,8 +433,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print("Using the training-free rate-distortion segmenter...")
     else:
         print("Training segmenter...")
+    segmenter = _build_eval_segmenter(segmenter_backend, args.seed)
     detectors = DetectorBank(
-        segmenter=_build_eval_segmenter(segmenter_backend, args.seed)
+        segmenter=segmenter,
+        pipeline=(
+            spec.build_pipeline(segmenter=segmenter)
+            if spec is not None
+            else None
+        ),
     )
     config = CampaignConfig(
         n_commands_per_participant=args.commands,
@@ -373,10 +450,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         # is scored on its own online segmentation.
         use_oracle_segmentation=segmenter_backend != "rd",
         seed=args.seed,
+        scenario=args.scenario,
+        **(
+            {"attack_spl_db": spec.attack_spl_db}
+            if spec is not None
+            else {}
+        ),
     )
+    if spec is not None:
+        print(f"Scenario {spec.name}: {spec.description}")
+        print(f"  fingerprint: {spec.fingerprint}")
     print("Running the campaign (this takes a few minutes)...")
     result = run_attack_experiment(
-        AttackKind(args.attack),
+        AttackKind(attack_name),
+        rooms=rooms,
         config=config,
         detectors=detectors,
         runner=CampaignRunner(
@@ -519,6 +606,7 @@ def _resolve_pipeline_spec(args: argparse.Namespace):
         threshold=args.threshold,
         threshold_jitter=args.threshold_jitter,
         subset_fraction=args.subset_fraction,
+        scenario=getattr(args, "scenario", None),
     )
     try:
         if args.segmenter == "none":

@@ -24,12 +24,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.acoustics.barrier import Barrier
-from repro.acoustics.loudspeaker import SOUND_BAR, Loudspeaker
+from repro.acoustics.loudspeaker import SOUND_BAR
 from repro.acoustics.materials import BarrierMaterial, GLASS_WINDOW
 from repro.acoustics.microphone import Microphone, SMART_SPEAKER_MIC
-from repro.acoustics.propagation import propagate
 from repro.acoustics.spl import db_to_gain
+from repro.channels import (
+    AirPropagationStage,
+    BarrierStage,
+    LoudspeakerStage,
+    PropagationChannel,
+)
 from repro.core.hardening import sample_subset
 from repro.dsp.quantiles import spectral_quartile_profile
 from repro.errors import ConfigurationError
@@ -237,9 +241,21 @@ class PhonemeSelector:
             n_speakers=10, seed=child_rng(self._rng, "corpus")
         )
         self.sensor = sensor or CrossDomainSensor()
-        self.barrier = Barrier(barrier_material)
+        self.barrier_material = barrier_material
         self.config = config or PhonemeSelectionConfig()
-        self._loudspeaker = Loudspeaker(SOUND_BAR)
+        air = AirPropagationStage(self.config.barrier_to_mic_m)
+        self._thru_channel = PropagationChannel(
+            (
+                LoudspeakerStage(SOUND_BAR),
+                BarrierStage(material=barrier_material),
+                air,
+            ),
+            name="selection-thru",
+        )
+        self._direct_channel = PropagationChannel(
+            (LoudspeakerStage(SOUND_BAR), air),
+            name="selection-direct",
+        )
         self._microphone = Microphone(SMART_SPEAKER_MIC)
 
     def run(
@@ -301,15 +317,14 @@ class PhonemeSelector:
             source = segment.waveform * gain
             sample_rate = segment.sample_rate
 
-            played = self._loudspeaker.play(source, sample_rate)
-            thru = self.barrier.transmit(
-                played, sample_rate, rng=child_rng(rng, f"bar{index}")
+            # The barrier stage is PASSTHROUGH, so the channel hands it
+            # this exact generator — the pre-refactor ``bar{index}``
+            # resonance stream.  The direct channel draws nothing.
+            thru_at_mic = self._thru_channel.apply(
+                source, sample_rate, rng=child_rng(rng, f"bar{index}")
             )
-            thru_at_mic = propagate(
-                thru, sample_rate, config.barrier_to_mic_m
-            )
-            direct_at_mic = propagate(
-                played, sample_rate, config.barrier_to_mic_m
+            direct_at_mic = self._direct_channel.apply(
+                source, sample_rate, rng=None
             )
             recorded_thru = self._microphone.capture(
                 thru_at_mic, sample_rate, rng=child_rng(rng, f"mt{index}")

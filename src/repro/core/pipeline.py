@@ -31,6 +31,7 @@ from repro.core.stages import (
     Stage,
     StageContext,
     default_stages,
+    min_material_samples,
     stages_after_sync,
 )
 from repro.core.sync import SyncConfig
@@ -709,7 +710,7 @@ class DefensePipeline:
             wearable_material = concatenate_segments(
                 wearable_audio, segments, config.audio_rate
             )
-            if va_material.size >= config.min_audio_s * config.audio_rate:
+            if va_material.size >= min_material_samples(self):
                 return va_material, wearable_material, len(segments)
         if va_audio.size == 0 or wearable_audio.size == 0:
             raise SignalError("cannot analyze empty recordings")

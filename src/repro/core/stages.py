@@ -95,6 +95,24 @@ class Stage:
         raise NotImplementedError
 
 
+def min_material_samples(pipeline) -> float:
+    """Fewest VA-timeline audio samples worth sending downstream.
+
+    Segment material must satisfy ``min_audio_s`` *and* survive
+    cross-domain conversion with at least one full STFT window
+    (``n_fft`` at the sensor's vibration rate); anything shorter raises
+    in feature extraction, so the full-recording fallback is the right
+    degradation for it.
+    """
+    config = pipeline.config
+    return max(
+        config.min_audio_s * config.audio_rate,
+        config.features.n_fft
+        * config.audio_rate
+        / pipeline.sensor.vibration_rate,
+    )
+
+
 class SyncStage(Stage):
     """Cross-device synchronization of the two recordings."""
 
@@ -145,7 +163,7 @@ class SegmentStage(Stage):
             wearable_material = concatenate_segments(
                 ctx.wearable_aligned, segments, config.audio_rate
             )
-            if va_material.size >= config.min_audio_s * config.audio_rate:
+            if va_material.size >= min_material_samples(pipeline):
                 ctx.va_material = va_material
                 ctx.wearable_material = wearable_material
                 ctx.n_segments = len(segments)

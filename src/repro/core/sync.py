@@ -26,13 +26,22 @@ class SyncConfig:
     max_delay_s:
         Largest WiFi/network delay the estimator searches over; local
         networks stay well under 0.5 s.
+    min_overlap_s:
+        Shortest aligned overlap the estimate is trusted to leave.  A
+        correlation peak that would trim the recordings below this is
+        treated as a misestimate (narrowband or periodic content can
+        fool Eq. (5)) and the recordings pass through untrimmed; ``0``
+        disables the guard.
     """
 
     max_delay_s: float = 0.5
+    min_overlap_s: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_delay_s <= 0:
             raise ConfigurationError("max_delay_s must be > 0")
+        if self.min_overlap_s < 0:
+            raise ConfigurationError("min_overlap_s must be >= 0")
 
 
 def synchronize_recordings(
@@ -55,4 +64,11 @@ def synchronize_recordings(
     va_aligned, wearable_aligned, delay = align_by_cross_correlation(
         va_audio, wearable_audio, max_lag
     )
+    min_overlap = int(round(config.min_overlap_s * sample_rate))
+    if 0 < va_aligned.size < min_overlap:
+        va = np.atleast_1d(np.asarray(va_audio))
+        wearable = np.atleast_1d(np.asarray(wearable_audio))
+        common = min(va.size, wearable.size)
+        if common > va_aligned.size:
+            return va[:common].copy(), wearable[:common].copy(), 0.0
     return va_aligned, wearable_aligned, delay / sample_rate

@@ -65,6 +65,12 @@ class CampaignConfig:
     barrier_to_wearable_m: float = 2.0
     use_oracle_segmentation: bool = True
     seed: int = 0
+    #: Name of a registered :class:`repro.scenarios.ScenarioSpec`.  When
+    #: set, every campaign unit builds its :class:`AttackScenario`
+    #: through the spec (material override + custom injection channel).
+    #: A *name*, not a spec object, so units stay picklable across the
+    #: process pool — workers re-resolve it from the registry on import.
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_commands_per_participant <= 0:
@@ -75,6 +81,10 @@ class CampaignConfig:
             raise ConfigurationError("n_attacks_per_kind must be > 0")
         if not self.user_distances_m:
             raise ConfigurationError("user_distances_m must be non-empty")
+        if self.scenario is not None:
+            from repro.scenarios import get_scenario
+
+            get_scenario(self.scenario)  # raises with the known list
 
 
 class DetectorBank:
@@ -271,11 +281,20 @@ def score_campaign_unit(
     derived from the unit seed, so changing the number of legitimate
     samples can never shift the attack scores (and vice versa).
     """
-    scenario = AttackScenario(
-        room_config=unit.room,
-        barrier_to_va_m=unit.config.barrier_to_va_m,
-        barrier_to_wearable_m=unit.config.barrier_to_wearable_m,
-    )
+    if unit.config.scenario is not None:
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario(unit.config.scenario).build_attack_scenario(
+            unit.room,
+            barrier_to_va_m=unit.config.barrier_to_va_m,
+            barrier_to_wearable_m=unit.config.barrier_to_wearable_m,
+        )
+    else:
+        scenario = AttackScenario(
+            room_config=unit.room,
+            barrier_to_va_m=unit.config.barrier_to_va_m,
+            barrier_to_wearable_m=unit.config.barrier_to_wearable_m,
+        )
     scores = ScoreSet()
     legit_rng = np.random.default_rng(derive_seed(unit.seed, "legit"))
     attack_rng = np.random.default_rng(derive_seed(unit.seed, "attacks"))

@@ -1,0 +1,21 @@
+"""Scenario registry: named attack × material × channel × detector packs.
+
+Importing this package registers the built-in packs; ``--scenario
+<name>`` on the evaluate/serve/loadgen CLIs resolves names through
+:func:`get_scenario`.
+"""
+
+from repro.scenarios.registry import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios import packs  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]

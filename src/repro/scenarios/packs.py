@@ -1,0 +1,131 @@
+"""Built-in scenario packs.
+
+Each pack is *pure registry data* — a :class:`ScenarioSpec` composed
+from existing channel stages and materials, with zero edits to core
+code.  That is the refactor's proof obligation: a new physical threat
+model or defense hardware is a ~50-line entry here, not a fork of the
+attack/sensing stack.
+
+Packs
+-----
+``baseline-<material>``
+    The paper's standard thru-barrier condition pinned to one material
+    across all rooms (glass window / wooden door / brick wall).
+``ultrasound-solid``
+    SUAD-style solid-channel ultrasound injection: the command is
+    amplitude-modulated onto a 21 kHz carrier, driven through an
+    ultrasonic contact transducer into the barrier *solid*, and
+    demodulated back to baseband by square-law mechanical nonlinearity
+    on the room side.  No airborne thru-barrier path is involved, so
+    the barrier's α(f) curve never touches the attack — the question
+    the pack answers is whether the vibration-domain detector still
+    catches the resulting replay-class artifacts.
+``metamaterial-barrier``
+    MetaGuardian-style metamaterial panel: the host glass plus a deep
+    resonator notch at 250 Hz — exactly the 85–500 Hz band that
+    survives an ordinary window — swept against the standard attack
+    suite.
+``metamaterial-hf-control``
+    The same panel with the notch parked at 2.5 kHz, far above the
+    surviving band.  Comparing the two isolates notch *placement* as
+    the active ingredient.
+"""
+
+from __future__ import annotations
+
+from repro.channels.stages import (
+    ULTRASONIC_TRANSDUCER,
+    LoudspeakerStage,
+    NonlinearDemodulationStage,
+    SolidConductionStage,
+    UltrasoundCarrierStage,
+)
+from repro.scenarios.registry import ScenarioSpec, register_scenario
+
+#: The classic thru-barrier condition, one entry per standard material.
+BASELINE_GLASS = register_scenario(
+    ScenarioSpec(
+        name="baseline-glass",
+        description=(
+            "Standard thru-barrier replay attack through a glass window"
+        ),
+        attack="replay",
+        material="glass_window",
+        tags=("baseline",),
+    )
+)
+
+BASELINE_WOOD = register_scenario(
+    ScenarioSpec(
+        name="baseline-wood",
+        description=(
+            "Standard thru-barrier replay attack through a wooden door"
+        ),
+        attack="replay",
+        material="wooden_door",
+        tags=("baseline",),
+    )
+)
+
+BASELINE_BRICK = register_scenario(
+    ScenarioSpec(
+        name="baseline-brick",
+        description=(
+            "Standard thru-barrier replay attack against a brick wall "
+            "(the attack-defeating control)"
+        ),
+        attack="replay",
+        material="brick_wall",
+        tags=("baseline", "control"),
+    )
+)
+
+#: Solid-channel ultrasound injection (SUAD-style).  The injection
+#: graph replaces the airborne loudspeaker → barrier chain entirely:
+#: carrier modulation → ultrasonic transducer → structure-borne path →
+#: square-law demodulation back into the audible band inside the room.
+ULTRASOUND_SOLID = register_scenario(
+    ScenarioSpec(
+        name="ultrasound-solid",
+        description=(
+            "Inaudible 21 kHz carrier injected through the barrier "
+            "solid, demodulated to an audible command inside the room"
+        ),
+        attack="replay",
+        attack_stages=(
+            UltrasoundCarrierStage(),
+            LoudspeakerStage(ULTRASONIC_TRANSDUCER),
+            SolidConductionStage(),
+            NonlinearDemodulationStage(),
+        ),
+        tags=("pack", "ultrasound"),
+    )
+)
+
+#: Metamaterial barrier pack: notch tuned to the thru-barrier band.
+METAMATERIAL_BARRIER = register_scenario(
+    ScenarioSpec(
+        name="metamaterial-barrier",
+        description=(
+            "Metamaterial panel with a 250 Hz resonator notch (the "
+            "thru-barrier carrier band) vs the standard attack suite"
+        ),
+        attack="replay",
+        material="meta_speech_notch",
+        tags=("pack", "metamaterial"),
+    )
+)
+
+#: Placement control: identical notch depth, parked out of band.
+METAMATERIAL_HF_CONTROL = register_scenario(
+    ScenarioSpec(
+        name="metamaterial-hf-control",
+        description=(
+            "Metamaterial panel with the notch at 2.5 kHz — out of the "
+            "surviving band; isolates notch placement as the defense"
+        ),
+        attack="replay",
+        material="meta_hf_notch",
+        tags=("pack", "metamaterial", "control"),
+    )
+)

@@ -1,28 +1,36 @@
 """Cross-domain sensor: replay audio on the wearable, read the vibration.
 
-This composes the full §IV-A chain: wearable built-in speaker playback →
+This composes the full §IV-A chain — wearable built-in speaker playback →
 conductive coupling through the watch body → accelerometer sampling with
 aliasing, DC artifact, low-frequency noise injection, and optional body
-motion.  The output is the vibration-domain signal the defense analyzes.
+motion — as a :class:`~repro.channels.PropagationChannel` of three
+stages.  The output is the vibration-domain signal the defense analyzes.
+
+Scenario packs can substitute a custom replay channel (extra stages,
+different specs) via the ``channel`` field without touching this class;
+body-motion interference stays a sensor-level concern because it is
+additive at the vibration rate regardless of the channel's shape.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.acoustics.loudspeaker import (
-    Loudspeaker,
-    LoudspeakerSpec,
-    WEARABLE_SPEAKER,
-)
-from repro.sensing.accelerometer import Accelerometer, AccelerometerSpec
+from repro.acoustics.loudspeaker import LoudspeakerSpec, WEARABLE_SPEAKER
+from repro.sensing.accelerometer import AccelerometerSpec
 from repro.sensing.body_motion import body_motion_interference
 from repro.sensing.conduction import ConductionPath
 from repro.utils.rng import SeedLike, as_generator, child_rng
 from repro.utils.validation import ensure_1d, ensure_positive
+
+#: Nominal audio rate used to report :attr:`CrossDomainSensor
+#: .vibration_rate` for channels whose output rate depends on the input
+#: rate.  The default chain ends in an accelerometer stage whose output
+#: rate is fixed, so the nominal rate is irrelevant there.
+NOMINAL_AUDIO_RATE = 16_000.0
 
 
 @dataclass
@@ -40,6 +48,10 @@ class CrossDomainSensor:
     body_motion_intensity:
         RMS of wrist-motion interference added when
         ``include_body_motion=True`` at conversion time.
+    channel:
+        Replay propagation channel.  ``None`` builds the paper's default
+        speaker → conduction → accelerometer chain from the spec fields
+        above; scenario packs pass a custom channel here.
 
     Examples
     --------
@@ -60,15 +72,33 @@ class CrossDomainSensor:
         default_factory=AccelerometerSpec
     )
     body_motion_intensity: float = 0.02
+    #: A :class:`repro.channels.PropagationChannel`; ``None`` builds the
+    #: default chain.  (Typed loosely to avoid a package import cycle —
+    #: ``repro.channels`` stage adapters import the sensing specs.)
+    channel: Optional[object] = None
 
     def __post_init__(self) -> None:
-        self._speaker = Loudspeaker(self.speaker_spec)
-        self._accelerometer = Accelerometer(self.accelerometer_spec)
+        from repro.channels.graph import PropagationChannel
+        from repro.channels.stages import (
+            AccelerometerStage,
+            ConductionStage,
+            LoudspeakerStage,
+        )
+
+        if self.channel is None:
+            self.channel = PropagationChannel(
+                stages=(
+                    LoudspeakerStage(self.speaker_spec),
+                    ConductionStage(self.conduction),
+                    AccelerometerStage(self.accelerometer_spec),
+                ),
+                name="wearable-replay",
+            )
 
     @property
     def vibration_rate(self) -> float:
         """Sampling rate (Hz) of the produced vibration signals."""
-        return self._accelerometer.sample_rate
+        return self.channel.output_rate(NOMINAL_AUDIO_RATE)
 
     def convert(
         self,
@@ -103,18 +133,11 @@ class CrossDomainSensor:
         ensure_positive(audio_rate, "audio_rate")
         generator = as_generator(rng)
 
-        played = self._speaker.play(samples, audio_rate)
-        coupled = self.conduction.apply(
-            played, audio_rate, rng=child_rng(generator, "strap")
-        )
-        vibration = self._accelerometer.sense(
-            coupled, audio_rate, drive_audio=samples,
-            rng=child_rng(generator, "sense"),
-        )
+        vibration = self.channel.apply(samples, audio_rate, rng=generator)
         if include_body_motion and self.body_motion_intensity > 0:
             vibration = vibration + body_motion_interference(
                 vibration.size,
-                self.vibration_rate,
+                self.channel.output_rate(audio_rate),
                 intensity=self.body_motion_intensity,
                 rng=child_rng(generator, "body"),
             )
@@ -131,19 +154,18 @@ class CrossDomainSensor:
 
         ``rngs[i]`` is the seed/generator that a sequential
         ``convert(audios[i], audio_rate, rng=rngs[i], ...)`` call would
-        receive; the per-item child streams (``strap`` → ``sense`` →
-        ``body``) are derived in exactly the sequential order, so item
-        ``i`` of the result is **bitwise identical** to the sequential
-        path.
+        receive; the per-item child streams (one per stochastic channel
+        stage, then ``body``) are derived in exactly the sequential
+        order, so item ``i`` of the result is **bitwise identical** to
+        the sequential path.
 
-        Recordings of equal length are grouped into dense ``(batch,
-        time)`` stacks and pushed through :meth:`Loudspeaker.play_batch`,
-        :meth:`ConductionPath.apply_batch`, and
-        :meth:`Accelerometer.sense_batch` in one shot each.  Grouping by
-        *exact* length (instead of right-padding to the batch maximum)
-        is what preserves bitwise parity: padding would change the FFT
-        length and the ``sosfiltfilt`` edge extension, perturbing every
-        sample in the padded rows.
+        The channel groups recordings of equal length into dense
+        ``(batch, time)`` stacks and pushes them through each stage's
+        vectorized ``apply_batch``.  Grouping by *exact* length (instead
+        of right-padding to the batch maximum) is what preserves bitwise
+        parity: padding would change the FFT length and the
+        ``sosfiltfilt`` edge extension, perturbing every sample in the
+        padded rows.
 
         Returns
         -------
@@ -162,52 +184,23 @@ class CrossDomainSensor:
             )
         want_body = include_body_motion and self.body_motion_intensity > 0
 
-        # Derive every per-item child stream up front, in the exact
-        # order the sequential path consumes parent draws: strap, sense,
-        # then (conditionally) body.
-        strap_rngs: List[np.random.Generator] = []
-        sense_rngs: List[np.random.Generator] = []
-        body_rngs: List[Optional[np.random.Generator]] = []
-        for rng in rngs:
-            generator = as_generator(rng)
-            strap_rngs.append(child_rng(generator, "strap"))
-            sense_rngs.append(child_rng(generator, "sense"))
-            body_rngs.append(
-                child_rng(generator, "body") if want_body else None
-            )
-
-        buckets: Dict[int, List[int]] = {}
-        for index, samples in enumerate(items):
-            buckets.setdefault(samples.size, []).append(index)
-
-        results: List[Optional[np.ndarray]] = [None] * len(items)
-        for indices in buckets.values():
-            stack = np.stack([items[index] for index in indices])
-            played = self._speaker.play_batch(stack, audio_rate)
-            coupled = self.conduction.apply_batch(
-                played,
-                audio_rate,
-                rngs=[strap_rngs[index] for index in indices],
-            )
-            vibrations = self._accelerometer.sense_batch(
-                coupled,
-                audio_rate,
-                drive_audios=stack,
-                rngs=[sense_rngs[index] for index in indices],
-            )
-            for row, index in enumerate(indices):
-                results[index] = vibrations[row]
-
-        converted = [
-            vibration for vibration in results if vibration is not None
-        ]
-        if len(converted) != len(items):  # pragma: no cover - invariant
-            raise RuntimeError("convert_batch dropped an item")
+        # One generator per item, shared between the channel's up-front
+        # stream derivation and the (later) body stream, so each parent
+        # consumes draws in the sequential order: channel stages first,
+        # then body.
+        generators = [as_generator(rng) for rng in rngs]
+        converted = self.channel.apply_batch(
+            items, audio_rate, rngs=generators
+        )
         if want_body:
+            vibration_rate = self.channel.output_rate(audio_rate)
+            body_rngs = [
+                child_rng(generator, "body") for generator in generators
+            ]
             for index, vibration in enumerate(converted):
                 converted[index] = vibration + body_motion_interference(
                     vibration.size,
-                    self.vibration_rate,
+                    vibration_rate,
                     intensity=self.body_motion_intensity,
                     rng=body_rngs[index],
                 )

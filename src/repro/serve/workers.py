@@ -101,6 +101,13 @@ class PipelineSpec:
         plain string so the spec stays picklable for process-pool
         initializers); ``None`` trains in-process as before.  Ignored
         by the RD backend — there is nothing to load.
+    scenario:
+        Name of a registered :class:`repro.scenarios.ScenarioSpec`
+        selecting the replay-side channel graph (the wearable sensor
+        model) workers serve with.  A *name*, not a spec, so the spec
+        stays picklable; workers re-resolve it from the registry.
+        Part of the fingerprint — different channel graphs produce
+        different verdicts and must never share a batch class.
     """
 
     use_segmenter: bool = True
@@ -114,6 +121,7 @@ class PipelineSpec:
     subset_fraction: float = 1.0
     min_audio_s: float = 0.25
     store_dir: Optional[str] = None
+    scenario: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.segmenter_backend not in SEGMENTER_BACKENDS:
@@ -121,6 +129,10 @@ class PipelineSpec:
                 f"segmenter_backend must be one of {SEGMENTER_BACKENDS}, "
                 f"got {self.segmenter_backend!r}"
             )
+        if self.scenario is not None:
+            from repro.scenarios import get_scenario
+
+            get_scenario(self.scenario)  # raises with the known list
         # Build the hardening config eagerly so invalid knobs fail at
         # spec construction, not in a worker initializer.
         self.hardening
@@ -158,6 +170,7 @@ class PipelineSpec:
                 self.threshold_jitter,
                 self.subset_fraction,
                 self.min_audio_s,
+                self.scenario,
             )
         return stable_fingerprint(
             self.use_segmenter,
@@ -170,6 +183,7 @@ class PipelineSpec:
             self.threshold_jitter,
             self.subset_fraction,
             self.min_audio_s,
+            self.scenario,
         )
 
     def build_segmenter(
@@ -200,8 +214,14 @@ class PipelineSpec:
         self, audio_rate: float, wearer_moving: bool
     ) -> DefensePipeline:
         """Pipeline for one batch-compatibility class."""
+        sensor = None
+        if self.scenario is not None:
+            from repro.scenarios import get_scenario
+
+            sensor = get_scenario(self.scenario).build_sensor()
         return DefensePipeline(
             segmenter=self.build_segmenter(audio_rate=audio_rate),
+            sensor=sensor,
             config=DefenseConfig(
                 audio_rate=float(audio_rate),
                 detector=DetectorConfig(threshold=self.threshold),

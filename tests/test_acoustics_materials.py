@@ -17,7 +17,8 @@ from repro.errors import ConfigurationError
 
 def test_registry_contents():
     assert set(MATERIALS) == {
-        "glass_window", "glass_wall", "wooden_door", "brick_wall"
+        "glass_window", "glass_wall", "wooden_door", "brick_wall",
+        "meta_speech_notch", "meta_hf_notch",
     }
 
 
